@@ -1,0 +1,162 @@
+// Command nmoprof profiles one of the five paper workloads under the
+// NMO_* environment configuration (Table I), mirroring how the real
+// tool attaches via LD_PRELOAD and is configured by environment:
+//
+//	NMO_ENABLE=1 NMO_MODE=full NMO_PERIOD=4096 NMO_TRACK_RSS=1 \
+//	    nmoprof -workload stream -threads 32
+//
+// It writes <NMO_NAME>.trace.csv, <NMO_NAME>.trace.bin and
+// <NMO_NAME>.{capacity,bandwidth}.csv next to the working directory
+// and prints a summary with the trace MD5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmo"
+	"nmo/internal/analysis"
+	"nmo/internal/experiments"
+	"nmo/internal/report"
+)
+
+func main() {
+	workload := flag.String("workload", "stream", "stream | cfd | bfs | pagerank | inmem")
+	threads := flag.Int("threads", 32, "worker threads (cycle-level workloads)")
+	elems := flag.Int("elems", 2_000_000, "elements/nodes for cycle-level workloads")
+	iters := flag.Int("iters", 2, "iterations for stream/cfd")
+	cores := flag.Int("cores", 128, "machine cores")
+	seed := flag.Uint64("seed", 42, "workload/profiler seed")
+	flag.Parse()
+
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nmoprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, threads, elems, iters, cores int, seed uint64) error {
+	cfg, err := nmo.FromEnv()
+	if err != nil {
+		return err
+	}
+	cfg.Seed = seed
+	if !cfg.Enable {
+		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
+	}
+
+	spec := nmo.AmpereAltraMax().WithCores(cores)
+	var w nmo.Workload
+	switch workload {
+	case "stream":
+		w = nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters})
+	case "cfd":
+		w = nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed})
+	case "bfs":
+		w = nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: 3, Seed: seed})
+	case "pagerank", "inmem":
+		// Phase-level workloads run on the scaled clock.
+		sc := experiments.DefaultScale()
+		sc.Cores = cores
+		res, err := experiments.CloudTemporal(sc, map[string]string{
+			"pagerank": "pagerank", "inmem": "inmem"}[workload])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: wall %.1fs, peak RSS %.1f GiB (%.1f%% of machine), peak bandwidth %.1f GiB/s\n",
+			res.Workload, res.WallSec, res.PeakRSSGiB, res.UtilizationPct, res.PeakBWGiBps)
+		if err := writeSeries(cfg.Name+".capacity.csv", &res.Capacity); err != nil {
+			return err
+		}
+		return writeSeries(cfg.Name+".bandwidth.csv", &res.Bandwidth)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+
+	mach := nmo.NewMachine(spec)
+	prof, err := nmo.Run(cfg, mach, w)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s, %d threads: wall %d cycles (%.3f ms simulated)\n",
+		prof.Workload, prof.Threads, prof.Wall, prof.WallSec*1e3)
+	if cfg.Enable {
+		fmt.Printf("mem accesses (perf stat): %d; bus accesses: %d; arithmetic intensity: %.4f flops/B\n",
+			prof.MemAccesses, prof.BusAccesses, prof.ArithmeticIntensity())
+	}
+	if cfg.Mode.Sampling() {
+		fmt.Printf("SPE: %d selected, %d processed, %d collisions, %d truncated, %d invalid-skipped\n",
+			prof.SPE.Selected, prof.SPE.Processed, prof.SPE.Collisions,
+			prof.SPE.TruncatedHW, prof.SPE.SkippedInvalid)
+		fmt.Printf("Eq.(1) accuracy: %.2f%%\n",
+			100*nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, cfg.EffectivePeriod()))
+		fmt.Printf("trace MD5: %x (%d samples stored)\n", prof.MD5, len(prof.Trace.Samples))
+
+		t := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
+		for name, n := range prof.Trace.CountByRegion() {
+			t.AddRow(name, n)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+
+		// Cache-activity view from the SPE data-source packets.
+		lv := analysis.LevelBreakdown(prof.Trace)
+		lt := &report.Table{Title: "Samples by memory level (data source)",
+			Headers: []string{"level", "count"}}
+		for i, name := range []string{"L1", "L2", "SLC", "DRAM"} {
+			lt.AddRow(name, lv[i])
+		}
+		if err := lt.Render(os.Stdout); err != nil {
+			return err
+		}
+		p50, p90, p99 := analysis.LatencyPercentiles(prof.Trace)
+		fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n", p50, p90, p99)
+
+		f, err := os.Create(cfg.Name + ".trace.csv")
+		if err != nil {
+			return err
+		}
+		if err := prof.Trace.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		fb, err := os.Create(cfg.Name + ".trace.bin")
+		if err != nil {
+			return err
+		}
+		if err := prof.Trace.WriteBinary(fb); err != nil {
+			fb.Close()
+			return err
+		}
+		fb.Close()
+		fmt.Printf("wrote %s.trace.csv and %s.trace.bin\n", cfg.Name, cfg.Name)
+	}
+	if cfg.Mode.Counters() {
+		if err := writeSeries(cfg.Name+".bandwidth.csv", &prof.Bandwidth); err != nil {
+			return err
+		}
+		if cfg.TrackRSS {
+			if err := writeSeries(cfg.Name+".capacity.csv", &prof.Capacity); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(path string, s *nmo.Series) error {
+	if len(s.Points) == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("wrote %s\n", path)
+	return s.WriteCSV(f)
+}

@@ -1,0 +1,352 @@
+// Command nmorepro regenerates every table and figure of the paper's
+// evaluation from the simulated testbed:
+//
+//	nmorepro -exp all            # everything (DefaultScale, minutes)
+//	nmorepro -exp fig8 -quick    # one artifact at reduced scale
+//	nmorepro -list               # show the experiment index
+//
+// Output is textual: aligned tables for the numeric artifacts and
+// ASCII heatmaps/series plots for the scatter/timeline figures. Pass
+// -csv DIR to additionally dump machine-readable series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nmo/internal/experiments"
+	"nmo/internal/report"
+	"nmo/internal/trace"
+)
+
+var experimentIndex = []struct {
+	id   string
+	desc string
+}{
+	{"tab1", "Table I: supported environment variables and defaults"},
+	{"tab2", "Table II: hardware specification of the (simulated) platform"},
+	{"fig2", "Fig. 2: memory capacity over time (Page Rank, In-memory Analytics)"},
+	{"fig3", "Fig. 3: memory bandwidth over time (Page Rank, In-memory Analytics)"},
+	{"fig4", "Fig. 4: STREAM tagged execution phases with sampled accesses (8 threads)"},
+	{"fig5", "Fig. 5: CFD sampled accesses at 1 thread"},
+	{"fig6", "Fig. 6: CFD sampled accesses at 32 threads + high-res trace"},
+	{"fig7", "Fig. 7: collected SPE samples vs sampling period (5 trials)"},
+	{"fig8", "Fig. 8: accuracy / time overhead / collisions vs sampling period"},
+	{"fig9", "Fig. 9: impact of aux buffer size (STREAM, 32 threads)"},
+	{"fig10", "Fig. 10: time overhead and accuracy vs thread count"},
+	{"fig11", "Fig. 11: sample collisions/throttling vs thread count"},
+	{"ext-bias", "Extension (§IX future work): code-position sampling bias, dither on/off"},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (tab1,tab2,fig2..fig11,all)")
+	quick := flag.Bool("quick", false, "use the reduced QuickScale configuration")
+	csvDir := flag.String("csv", "", "directory for CSV series dumps (optional)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experimentIndex {
+			fmt.Printf("%-6s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	r := &runner{sc: sc, csvDir: *csvDir}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = nil
+		for _, e := range experimentIndex {
+			ids = append(ids, e.id)
+		}
+	}
+	for _, id := range ids {
+		if err := r.run(strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "nmorepro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	sc     experiments.Scale
+	csvDir string
+}
+
+func (r *runner) run(id string) error {
+	switch id {
+	case "tab1":
+		return r.table1()
+	case "tab2":
+		return r.table2()
+	case "fig2", "fig3":
+		return r.temporal(id)
+	case "fig4":
+		return r.regionTrace("stream", 8, "Fig. 4: STREAM triad, 8 threads")
+	case "fig5":
+		return r.regionTrace("cfd", 1, "Fig. 5: CFD computation loop, 1 thread")
+	case "fig6":
+		return r.regionTrace("cfd", 32, "Fig. 6: CFD computation loop, 32 threads (high-res)")
+	case "fig7":
+		return r.fig7()
+	case "fig8":
+		return r.fig8()
+	case "fig9":
+		return r.fig9()
+	case "fig10", "fig11":
+		return r.fig1011(id)
+	case "ext-bias":
+		return r.extBias()
+	}
+	return fmt.Errorf("unknown experiment %q", id)
+}
+
+func (r *runner) table1() error {
+	t := &report.Table{
+		Title:   "Table I: Environment variables (live defaults)",
+		Headers: []string{"Option", "Description", "Default"},
+	}
+	for _, row := range experiments.Table1EnvVars() {
+		t.AddRow(row.Option, row.Description, row.Default)
+	}
+	return t.Render(os.Stdout)
+}
+
+func (r *runner) table2() error {
+	t := &report.Table{
+		Title:   "Table II: Simulated hardware platform",
+		Headers: []string{"Item", "Value"},
+	}
+	for _, row := range experiments.Table2MachineSpec() {
+		t.AddRow(row.Item, row.Value)
+	}
+	return t.Render(os.Stdout)
+}
+
+func (r *runner) temporal(id string) error {
+	for _, name := range []string{"inmem", "pagerank"} {
+		res, err := experiments.CloudTemporal(r.sc, name)
+		if err != nil {
+			return err
+		}
+		var series trace.Series
+		var title string
+		if id == "fig2" {
+			series = res.Capacity
+			title = fmt.Sprintf("Fig. 2 (%s): memory capacity over time — peak %.1f GiB (%.1f%% of machine)",
+				res.Workload, res.PeakRSSGiB, res.UtilizationPct)
+		} else {
+			series = res.Bandwidth
+			title = fmt.Sprintf("Fig. 3 (%s): memory bandwidth over time — peak %.1f GiB/s",
+				res.Workload, res.PeakBWGiBps)
+		}
+		times := make([]float64, len(series.Points))
+		values := make([]float64, len(series.Points))
+		for i, p := range series.Points {
+			times[i] = p.TimeSec
+			values[i] = p.Value
+		}
+		if err := report.RenderSeries(os.Stdout, title, series.Unit, times, values, 72, 12); err != nil {
+			return err
+		}
+		if err := r.dumpCSV(fmt.Sprintf("%s_%s.csv", id, res.Workload), &series); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func (r *runner) regionTrace(workload string, threads int, title string) error {
+	res, err := experiments.RegionTrace(r.sc, workload, threads, 72, 24)
+	if err != nil {
+		return err
+	}
+	if err := report.RenderHeatmap(os.Stdout, res.Heatmap, title); err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   "Samples by tagged region / kernel",
+		Headers: []string{"tag", "samples"},
+	}
+	for _, name := range sortedKeys(res.ByRegion) {
+		t.AddRow("region:"+name, res.ByRegion[name])
+	}
+	for _, name := range sortedKeys(res.ByKernel) {
+		t.AddRow("kernel:"+name, res.ByKernel[name])
+	}
+	t.AddRow("locality(4KB)", fmt.Sprintf("%.3f", res.Locality))
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *runner) fig7() error {
+	for _, wl := range []string{"stream", "cfd", "bfs"} {
+		res, err := experiments.PeriodSweep(r.sc, wl, experiments.Fig7Periods)
+		if err != nil {
+			return err
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("Fig. 7 (%s): collected samples per sampling period, %d trials", wl, r.sc.Trials),
+			Headers: []string{"period", "trials(samples)", "mean", "linear-fit(samples*period/memops)"},
+		}
+		for _, pt := range res.Points {
+			var sum float64
+			cells := make([]string, len(pt.Samples))
+			for i, s := range pt.Samples {
+				cells[i] = fmt.Sprintf("%d", s)
+				sum += float64(s)
+			}
+			mean := sum / float64(len(pt.Samples))
+			t.AddRow(pt.Period, strings.Join(cells, " "),
+				fmt.Sprintf("%.0f", mean),
+				fmt.Sprintf("%.3f", mean*float64(pt.Period)/float64(res.MemOps)))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func (r *runner) fig8() error {
+	for _, wl := range []string{"stream", "cfd", "bfs"} {
+		res, err := experiments.PeriodSweep(r.sc, wl, experiments.Fig8Periods)
+		if err != nil {
+			return err
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("Fig. 8 (%s): accuracy / time overhead / collisions vs period (%d threads)",
+				wl, res.Threads),
+			Headers: []string{"period", "accuracy", "overhead", "collisions(flagged)", "hw-collisions"},
+		}
+		for _, pt := range res.Points {
+			t.AddRow(pt.Period,
+				report.MeanStd(pt.Accuracy),
+				report.Pct(pt.Overhead.Mean),
+				fmt.Sprintf("%.1f", pt.Collisions.Mean),
+				fmt.Sprintf("%.0f", pt.HWColl.Mean))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func (r *runner) fig9() error {
+	res, err := experiments.Fig9AuxSweep(r.sc)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Fig. 9: aux buffer size impact (STREAM, %d threads, period %d, ring 8+1 pages)",
+			r.sc.Threads, res.Period),
+		Headers: []string{"aux pages", "overhead", "accuracy", "truncated", "wakeups"},
+	}
+	for _, pt := range res.Points {
+		t.AddRow(pt.AuxPages,
+			report.Pct(pt.Overhead.Mean),
+			report.MeanStd(pt.Accuracy),
+			fmt.Sprintf("%.0f", pt.Truncated.Mean),
+			pt.Wakeups)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *runner) fig1011(id string) error {
+	res, err := experiments.Fig10ThreadSweep(r.sc)
+	if err != nil {
+		return err
+	}
+	if id == "fig10" {
+		t := &report.Table{
+			Title: fmt.Sprintf("Fig. 10: overhead and accuracy vs thread count (STREAM, aux %d pages, period %d)",
+				res.AuxPages, res.Period),
+			Headers: []string{"threads", "overhead", "accuracy"},
+		}
+		for _, pt := range res.Points {
+			t.AddRow(pt.Threads, report.Pct(pt.Overhead.Mean), report.MeanStd(pt.Accuracy))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		t := &report.Table{
+			Title:   "Fig. 11: sample collisions / throttling vs thread count",
+			Headers: []string{"threads", "collisions(flagged)", "hw-collisions", "truncated records"},
+		}
+		for _, pt := range res.Points {
+			t.AddRow(pt.Threads,
+				fmt.Sprintf("%.1f", pt.Collisions.Mean),
+				fmt.Sprintf("%.0f", pt.HWColl.Mean),
+				fmt.Sprintf("%.0f", pt.Truncated.Mean))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *runner) extBias() error {
+	res, err := experiments.BiasStudy(r.sc)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Extension: code-position sampling bias (STREAM, period %d)", res.Period),
+		Headers: []string{"configuration", "TV distance to true PC mix", "top-PC share"},
+	}
+	t.AddRow("dither on (jitter)", fmt.Sprintf("%.3f", res.BiasJitterOn), "-")
+	t.AddRow("dither off", fmt.Sprintf("%.3f", res.BiasJitterOff),
+		fmt.Sprintf("%.3f", res.TopPCShareOff))
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *runner) dumpCSV(name string, s *trace.Series) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(r.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.WriteCSV(f)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

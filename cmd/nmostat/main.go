@@ -1,0 +1,68 @@
+// Command nmostat is the simulated equivalent of `perf stat -e
+// mem_access` — the exact-counting baseline of the paper's accuracy
+// methodology (§VII, Eq. 1). It runs a workload uninstrumented except
+// for counting events (which cost nothing in the model) and prints
+// the counters the evaluation needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmo"
+	"nmo/internal/report"
+)
+
+func main() {
+	workload := flag.String("workload", "stream", "stream | cfd | bfs")
+	threads := flag.Int("threads", 32, "worker threads")
+	elems := flag.Int("elems", 2_000_000, "elements/nodes")
+	iters := flag.Int("iters", 2, "iterations (stream/cfd) or BFS sources")
+	cores := flag.Int("cores", 128, "machine cores")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nmostat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, threads, elems, iters, cores int, seed uint64) error {
+	var w nmo.Workload
+	switch workload {
+	case "stream":
+		w = nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters})
+	case "cfd":
+		w = nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed})
+	case "bfs":
+		w = nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: iters, Seed: seed})
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+
+	cfg := nmo.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = nmo.ModeCounters
+	cfg.IntervalSec = 0 // counting only, no series
+	cfg.Seed = seed
+
+	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(cores))
+	prof, err := nmo.Run(cfg, mach, w)
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("perf stat (simulated): %s, %d threads", prof.Workload, prof.Threads),
+		Headers: []string{"counter", "value"},
+	}
+	t.AddRow("mem_access", prof.MemAccesses)
+	t.AddRow("bus_access", prof.BusAccesses)
+	t.AddRow("fp_ops", prof.Flops)
+	t.AddRow("cycles (wall)", uint64(prof.Wall))
+	t.AddRow("seconds (simulated)", fmt.Sprintf("%.6f", prof.WallSec))
+	t.AddRow("arithmetic intensity", fmt.Sprintf("%.4f flops/B", prof.ArithmeticIntensity()))
+	return t.Render(os.Stdout)
+}

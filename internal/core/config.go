@@ -1,0 +1,249 @@
+// Package core implements the NMO profiling engine: configuration
+// (the Table I environment variables), the profiling session that
+// wires perf events onto the machine, the collectors for the three
+// profiling levels (temporal capacity, temporal bandwidth, memory
+// region samples), and the SPE decode loop with its timescale
+// conversion and invalid-packet skipping (§III–IV of the paper).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nmo/internal/perfev"
+)
+
+// Mode selects what the profiler collects, the NMO_MODE setting.
+type Mode int
+
+const (
+	// ModeNone collects nothing (profiling disabled), the Table I
+	// default.
+	ModeNone Mode = iota
+	// ModeCounters collects the temporal metrics (capacity +
+	// bandwidth) from plain counting events.
+	ModeCounters
+	// ModeSample adds ARM SPE memory-access sampling.
+	ModeSample
+	// ModeFull collects everything.
+	ModeFull
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeCounters:
+		return "counters"
+	case ModeSample:
+		return "sample"
+	case ModeFull:
+		return "full"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode parses an NMO_MODE value.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none":
+		return ModeNone, nil
+	case "counters", "bw":
+		return ModeCounters, nil
+	case "sample", "spe":
+		return ModeSample, nil
+	case "full", "all":
+		return ModeFull, nil
+	}
+	return ModeNone, fmt.Errorf("core: unknown NMO_MODE %q", s)
+}
+
+// Sampling reports whether the mode includes SPE sampling.
+func (m Mode) Sampling() bool { return m == ModeSample || m == ModeFull }
+
+// Counters reports whether the mode includes temporal counters.
+func (m Mode) Counters() bool { return m == ModeCounters || m == ModeFull }
+
+// Config is the profiler configuration. The first block corresponds
+// one-to-one to the paper's Table I environment variables; the second
+// block holds the knobs the paper sets through code or perf attrs.
+type Config struct {
+	// Enable gates all collection (NMO_ENABLE, default off).
+	Enable bool
+	// Name is the base name of output files (NMO_NAME, default "nmo").
+	Name string
+	// Mode is the collection mode (NMO_MODE, default none).
+	Mode Mode
+	// Period is the SPE sampling period (NMO_PERIOD, default 0 =>
+	// sampling disabled unless the mode demands it, then 4096).
+	Period uint64
+	// TrackRSS enables working-set capture (NMO_TRACK_RSS, default
+	// off).
+	TrackRSS bool
+	// BufMiB is the ring buffer size in MiB (NMO_BUFSIZE, default 1).
+	BufMiB int
+	// AuxMiB is the aux buffer size in MiB (NMO_AUXBUFSIZE, default 1).
+	AuxMiB int
+
+	// RingPages / AuxPages override the MiB sizes with exact 64 KB
+	// page counts; the paper's Fig. 9 sweep is specified in pages.
+	RingPages int
+	AuxPages  int
+	// SampleLoads / SampleStores select the SPE operation filter;
+	// both default on (the paper's 0x600000001). Branches are never
+	// sampled (§IV-A).
+	SampleLoads  bool
+	SampleStores bool
+	// Jitter enables interval-counter dither (default on).
+	Jitter bool
+	// MinLatencyFilter drops samples below the latency threshold.
+	MinLatencyFilter uint16
+	// IntervalSec is the temporal collector resolution (default 1 s).
+	IntervalSec float64
+	// MaxSamples bounds stored samples; further samples are counted
+	// but not retained (default 4M).
+	MaxSamples int
+	// Seed drives SPE dither and any randomized decisions.
+	Seed uint64
+	// PageBytes overrides the perf mmap page size (0 = the testbed's
+	// 64 KB). The scaled-down buffer experiments shrink pages together
+	// with run lengths (EXPERIMENTS.md).
+	PageBytes int
+	// AuxWatermarkBytes overrides the aux wakeup watermark (0 = half
+	// the aux buffer).
+	AuxWatermarkBytes uint32
+	// Costs overrides the kernel cost model (zero fields keep the
+	// calibrated defaults); the scaled-down experiments shrink costs
+	// together with run lengths.
+	Costs perfev.Costs
+}
+
+// DefaultConfig mirrors the Table I defaults with sampling enabled
+// knobs at their code defaults.
+func DefaultConfig() Config {
+	return Config{
+		Enable:       false,
+		Name:         "nmo",
+		Mode:         ModeNone,
+		Period:       0,
+		TrackRSS:     false,
+		BufMiB:       1,
+		AuxMiB:       1,
+		SampleLoads:  true,
+		SampleStores: true,
+		Jitter:       true,
+		IntervalSec:  1.0,
+		MaxSamples:   4 << 20,
+		Seed:         1,
+	}
+}
+
+// pagesOf converts a MiB setting to 64 KB pages, clamped to a power of
+// two (mmap requirement).
+func pagesOf(mib int) int {
+	pages := mib * 16
+	if pages < 1 {
+		pages = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= pages {
+		p *= 2
+	}
+	return p
+}
+
+// EffectiveRingPages returns the data-page count for the perf ring
+// (the paper's "(N+1) pages" mmap maps N data pages plus metadata).
+func (c Config) EffectiveRingPages() int {
+	if c.RingPages > 0 {
+		return c.RingPages
+	}
+	return pagesOf(c.BufMiB)
+}
+
+// EffectiveAuxPages returns the aux-area page count.
+func (c Config) EffectiveAuxPages() int {
+	if c.AuxPages > 0 {
+		return c.AuxPages
+	}
+	return pagesOf(c.AuxMiB)
+}
+
+// EffectivePeriod returns the sampling period, applying the default
+// when sampling is requested without an explicit NMO_PERIOD.
+func (c Config) EffectivePeriod() uint64 {
+	if c.Period > 0 {
+		return c.Period
+	}
+	return 4096
+}
+
+// Validate rejects configurations the profiler cannot honour.
+func (c Config) Validate() error {
+	if c.Mode.Sampling() && c.EffectiveAuxPages() <= 0 {
+		return fmt.Errorf("core: sampling requires an aux buffer")
+	}
+	if c.IntervalSec < 0 {
+		return fmt.Errorf("core: negative interval %v", c.IntervalSec)
+	}
+	if c.MaxSamples < 0 {
+		return fmt.Errorf("core: negative MaxSamples")
+	}
+	return nil
+}
+
+// FromEnv builds a Config from an environment lookup function
+// (pass os.Getenv in real use; tests inject maps). Unset variables
+// keep their Table I defaults. Errors identify the offending variable.
+func FromEnv(getenv func(string) string) (Config, error) {
+	c := DefaultConfig()
+	if v := getenv("NMO_ENABLE"); v != "" {
+		c.Enable = isTruthy(v)
+	}
+	if v := getenv("NMO_NAME"); v != "" {
+		c.Name = v
+	}
+	if v := getenv("NMO_MODE"); v != "" {
+		m, err := ParseMode(v)
+		if err != nil {
+			return c, err
+		}
+		c.Mode = m
+	}
+	if v := getenv("NMO_PERIOD"); v != "" {
+		p, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("core: bad NMO_PERIOD %q: %v", v, err)
+		}
+		c.Period = p
+	}
+	if v := getenv("NMO_TRACK_RSS"); v != "" {
+		c.TrackRSS = isTruthy(v)
+	}
+	if v := getenv("NMO_BUFSIZE"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return c, fmt.Errorf("core: bad NMO_BUFSIZE %q", v)
+		}
+		c.BufMiB = n
+	}
+	if v := getenv("NMO_AUXBUFSIZE"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return c, fmt.Errorf("core: bad NMO_AUXBUFSIZE %q", v)
+		}
+		c.AuxMiB = n
+	}
+	return c, nil
+}
+
+func isTruthy(v string) bool {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nmo/internal/isa"
+	"nmo/internal/machine"
+	"nmo/internal/perfev"
+	"nmo/internal/sim"
+	"nmo/internal/spepkt"
+	"nmo/internal/trace"
+	"nmo/internal/workloads"
+	"nmo/internal/xrand"
+)
+
+// SPEAgg aggregates SPE hardware-unit counters plus the decode-side
+// outcomes across all cores of a run.
+type SPEAgg struct {
+	OpsSeen     uint64
+	Selected    uint64
+	Collisions  uint64 // hardware tracking-slot collisions
+	Filtered    uint64
+	Emitted     uint64
+	TruncatedHW uint64 // records dropped at the aux buffer
+	Corrupted   uint64
+	// Processed counts records the decoder accepted — the "samples"
+	// term of the paper's Eq. (1).
+	Processed uint64
+	// SkippedInvalid counts records the decoder skipped under the
+	// invalid-packet policy (bad 0xb2/0x71 header or zero VA/TS).
+	SkippedInvalid uint64
+}
+
+// KernelAgg aggregates perf kernel-side accounting across cores.
+type KernelAgg struct {
+	Wakeups            uint64
+	AuxRecords         uint64
+	LostRecords        uint64
+	TruncatedRecords   uint64
+	FlaggedCollisions  uint64 // aux records with the collision flag (§VII)
+	FlaggedTruncations uint64
+	DrainedBytes       uint64
+	IRQCycles          sim.Cycles
+}
+
+// Profile is the result of one profiled run.
+type Profile struct {
+	Workload string
+	Threads  int
+	// Wall is the run's completion time in cycles; WallSec the same
+	// in simulated seconds.
+	Wall    sim.Cycles
+	WallSec float64
+	// Trace holds the attributed memory-access samples (ModeSample+).
+	Trace *trace.Trace
+	// Capacity (GiB) and Bandwidth (GiB/s) temporal series
+	// (ModeCounters+; capacity additionally requires TrackRSS).
+	Capacity  trace.Series
+	Bandwidth trace.Series
+	// MemAccesses is the exact architectural load+store count from
+	// the mem_access counting events (Eq. 1's denominator).
+	MemAccesses uint64
+	// BusAccesses is the DRAM-level access count (bandwidth basis).
+	BusAccesses uint64
+	// Flops counts floating-point operations (arithmetic intensity).
+	Flops  uint64
+	MaxRSS uint64
+	SPE    SPEAgg
+	Kernel KernelAgg
+	// MD5 is the trace checksum (NMO hashes its sample trace).
+	MD5 [16]byte
+}
+
+// ArithmeticIntensity returns flops per DRAM byte (the Roofline
+// x-axis NMO derives by augmenting bandwidth counters with FP events).
+func (p *Profile) ArithmeticIntensity() float64 {
+	bytes := float64(p.BusAccesses) * 64
+	if bytes == 0 {
+		return 0
+	}
+	return float64(p.Flops) / bytes
+}
+
+// Session profiles workloads on a machine. One session owns the
+// machine's probes and callbacks while it runs; create a fresh session
+// (or reuse this one) per run.
+type Session struct {
+	cfg  Config
+	mach *machine.Machine
+}
+
+// NewSession validates the configuration and binds it to a machine.
+func NewSession(cfg Config, m *machine.Machine) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: nil machine")
+	}
+	return &Session{cfg: cfg, mach: m}, nil
+}
+
+// Config returns the session configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// kernelWindow is one tagged execution phase instance.
+type kernelWindow struct {
+	startNs uint64
+	endNs   uint64
+	label   int16
+}
+
+// Run executes the workload under the configured profiling mode and
+// returns the profile. When cfg.Enable is false the workload still
+// runs (transparent pass-through) and only wall time is reported,
+// which is exactly what the overhead baseline measures.
+func (s *Session) Run(w workloads.Workload) (*Profile, error) {
+	threads := w.Threads()
+	spec := s.mach.Spec()
+	if threads > spec.Cores {
+		return nil, fmt.Errorf("core: workload wants %d threads, machine has %d cores",
+			threads, spec.Cores)
+	}
+
+	prof := &Profile{Workload: w.Name(), Threads: threads}
+	regions := w.Regions()
+	labels := w.Labels()
+	prof.Trace = &trace.Trace{Workload: w.Name(), Kernels: labels}
+	for _, r := range regions {
+		prof.Trace.Regions = append(prof.Trace.Regions, r.Name)
+	}
+	sortedRegions := make([]workloads.Region, len(regions))
+	copy(sortedRegions, regions)
+	sort.Slice(sortedRegions, func(i, j int) bool {
+		return sortedRegions[i].Lo < sortedRegions[j].Lo
+	})
+	regionIndex := make(map[string]int16, len(regions))
+	for i, r := range regions {
+		regionIndex[r.Name] = int16(i)
+	}
+
+	s.mach.ClearProbes()
+	s.mach.ClearTicks()
+	s.mach.SetMarkerFunc(nil)
+	defer func() {
+		s.mach.ClearProbes()
+		s.mach.ClearTicks()
+		s.mach.SetMarkerFunc(nil)
+	}()
+
+	if !s.cfg.Enable {
+		res, err := s.mach.Run(w.Streams())
+		if err != nil {
+			return nil, err
+		}
+		s.fillRunStats(prof, res, spec)
+		return prof, nil
+	}
+
+	ts := sim.TimescaleFor(spec.Freq, 1, 0)
+	kern := perfev.NewKernel(spec.Cores, s.cfg.Costs, ts, xrand.New(s.cfg.Seed))
+	if s.cfg.PageBytes > 0 {
+		kern.SetPageSize(s.cfg.PageBytes)
+	}
+
+	// Counting events: exact mem_access on every active core (the
+	// perf-stat denominator), plus bus_access for bandwidth.
+	memEvents := make([]*perfev.Event, threads)
+	busEvents := make([]*perfev.Event, threads)
+	for t := 0; t < threads; t++ {
+		var err error
+		memEvents[t], err = kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawMemAccess}, t)
+		if err != nil {
+			return nil, err
+		}
+		busEvents[t], err = kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawBusAccess}, t)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.mach.AttachProbe(t, memEvents[t]); err != nil {
+			return nil, err
+		}
+		if err := s.mach.AttachProbe(t, busEvents[t]); err != nil {
+			return nil, err
+		}
+	}
+
+	// SPE sampling events.
+	var speEvents []*perfev.Event
+	if s.cfg.Mode.Sampling() {
+		attr := &perfev.Attr{
+			Type:         perfev.TypeArmSPE,
+			Config:       perfev.SPETSEnable,
+			Config2:      uint64(s.cfg.MinLatencyFilter),
+			SamplePeriod: s.cfg.EffectivePeriod(),
+			AuxWatermark: s.cfg.AuxWatermarkBytes,
+		}
+		if s.cfg.SampleLoads {
+			attr.Config |= perfev.SPELoadFilter
+		}
+		if s.cfg.SampleStores {
+			attr.Config |= perfev.SPEStoreFilter
+		}
+		if s.cfg.Jitter {
+			attr.Config |= perfev.SPEJitter
+		}
+		for t := 0; t < threads; t++ {
+			ev, err := kern.Open(attr, t)
+			if err != nil {
+				return nil, err
+			}
+			if err := ev.MmapRing(s.cfg.EffectiveRingPages()); err != nil {
+				return nil, err
+			}
+			if err := ev.MmapAux(s.cfg.EffectiveAuxPages()); err != nil {
+				return nil, err
+			}
+			core := int16(t)
+			ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
+				st := perfev.DecodeSpan(span, func(r *spepkt.Record) {
+					prof.SPE.Processed++
+					if len(prof.Trace.Samples) >= s.cfg.MaxSamples {
+						return
+					}
+					prof.Trace.Samples = append(prof.Trace.Samples, trace.Sample{
+						TimeNs: ts.ToNanos(r.TS),
+						VA:     r.VA,
+						PC:     r.PC,
+						Lat:    r.TotalLat,
+						Core:   core,
+						Region: attributeRegion(sortedRegions, regionIndex, r.VA),
+						Kernel: -1, // attributed after the run
+						Store:  r.IsStore(),
+						Level:  levelOfSource(r.Source),
+					})
+				})
+				prof.SPE.SkippedInvalid += uint64(st.Skipped)
+			})
+			if err := s.mach.AttachProbe(t, ev); err != nil {
+				return nil, err
+			}
+			speEvents = append(speEvents, ev)
+		}
+	}
+
+	// Annotation markers: tagged execution phases.
+	var windows []kernelWindow
+	open := make(map[int16]uint64) // label -> startNs
+	nsOf := func(c sim.Cycles) uint64 {
+		return uint64(spec.Freq.Seconds(c) * 1e9)
+	}
+	s.mach.SetMarkerFunc(func(coreID int, now sim.Cycles, op *isa.Op) {
+		switch op.Marker {
+		case isa.MarkerStart:
+			open[int16(op.Label)] = nsOf(now)
+		case isa.MarkerStop:
+			if start, ok := open[int16(op.Label)]; ok {
+				windows = append(windows, kernelWindow{
+					startNs: start, endNs: nsOf(now), label: int16(op.Label),
+				})
+				delete(open, int16(op.Label))
+			}
+		}
+	})
+
+	// Temporal collectors.
+	var intervalCycles sim.Cycles
+	if s.cfg.Mode.Counters() && s.cfg.IntervalSec > 0 {
+		intervalCycles = spec.Freq.CyclesOf(s.cfg.IntervalSec)
+		if intervalCycles == 0 {
+			intervalCycles = spec.Quantum
+		}
+		var next sim.Cycles
+		var prevBytes uint64
+		next = intervalCycles
+		s.mach.OnTick(func(now sim.Cycles) {
+			for now >= next {
+				var bus uint64
+				for _, ev := range busEvents {
+					bus += ev.ReadCount()
+				}
+				bytes := bus * 64
+				gibps := float64(bytes-prevBytes) /
+					s.cfg.IntervalSec / float64(1<<30)
+				prevBytes = bytes
+				tsec := spec.Freq.Seconds(next)
+				prof.Bandwidth.Points = append(prof.Bandwidth.Points,
+					trace.Point{TimeSec: tsec, Value: gibps})
+				if s.cfg.TrackRSS {
+					rss, _ := s.mach.RSS()
+					prof.Capacity.Points = append(prof.Capacity.Points,
+						trace.Point{TimeSec: tsec, Value: float64(rss) / float64(1<<30)})
+				}
+				next += intervalCycles
+			}
+		})
+	}
+	prof.Bandwidth.Name, prof.Bandwidth.Unit = "bandwidth", "GiBps"
+	prof.Capacity.Name, prof.Capacity.Unit = "capacity", "GiB"
+
+	res, err := s.mach.Run(w.Streams())
+	if err != nil {
+		return nil, err
+	}
+
+	// Close any window left open at exit (implicit nmo_stop at end).
+	for label, start := range open {
+		windows = append(windows, kernelWindow{startNs: start, endNs: nsOf(res.Wall), label: label})
+	}
+
+	// Capture the monitor's in-run drain work before the final drain:
+	// the end-of-program flush happens after exit and is not charged
+	// (§VII of the paper).
+	inRunDrainCycles := kern.DrainCycles()
+
+	// Drain residual aux data (after program exit; uncharged, §VII).
+	for _, ev := range speEvents {
+		ev.FinalDrain(s.mach.Now())
+	}
+
+	s.attributeKernels(prof.Trace, windows)
+	s.fillRunStats(prof, res, spec)
+
+	// Monitor interference: NMO's monitoring process competes with the
+	// application for cores. With T app threads on a C-core machine,
+	// a fraction T/C of the monitor's drain work preempts application
+	// cores and lands on the critical path — negligible on a mostly
+	// idle machine, and the reason time overhead creeps up toward full
+	// subscription in the paper's Fig. 10.
+	if spec.Cores > 0 {
+		interference := sim.Cycles(float64(inRunDrainCycles) *
+			float64(threads) / float64(spec.Cores))
+		prof.Wall += interference
+		prof.WallSec = spec.Freq.Seconds(prof.Wall)
+	}
+
+	for _, ev := range memEvents {
+		prof.MemAccesses += ev.ReadCount()
+	}
+	for _, ev := range busEvents {
+		prof.BusAccesses += ev.ReadCount()
+	}
+	for _, ev := range speEvents {
+		u := ev.SPEStats()
+		prof.SPE.OpsSeen += u.OpsSeen
+		prof.SPE.Selected += u.Selected
+		prof.SPE.Collisions += u.Collisions
+		prof.SPE.Filtered += u.Filtered
+		prof.SPE.Emitted += u.Emitted
+		prof.SPE.TruncatedHW += u.Truncated
+		prof.SPE.Corrupted += u.Corrupted
+		k := ev.Stats()
+		prof.Kernel.Wakeups += k.Wakeups
+		prof.Kernel.AuxRecords += k.AuxRecords
+		prof.Kernel.LostRecords += k.LostRecords
+		prof.Kernel.TruncatedRecords += k.TruncatedRecords
+		prof.Kernel.FlaggedCollisions += k.FlaggedCollisions
+		prof.Kernel.FlaggedTruncations += k.FlaggedTruncations
+		prof.Kernel.DrainedBytes += k.DrainedBytes
+		prof.Kernel.IRQCycles += k.IRQCycles
+	}
+	prof.MD5 = prof.Trace.MD5()
+	return prof, nil
+}
+
+// fillRunStats copies machine-level results into the profile.
+func (s *Session) fillRunStats(p *Profile, res machine.RunResult, spec machine.Spec) {
+	p.Wall = res.Wall
+	p.WallSec = spec.Freq.Seconds(res.Wall)
+	p.Flops = res.TotalFlops
+	p.MaxRSS = res.MaxRSS
+}
+
+// attributeKernels assigns each sample the tagged phase containing its
+// timestamp.
+func (s *Session) attributeKernels(tr *trace.Trace, windows []kernelWindow) {
+	if len(windows) == 0 || len(tr.Samples) == 0 {
+		return
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i].startNs < windows[j].startNs })
+	starts := make([]uint64, len(windows))
+	for i, w := range windows {
+		starts[i] = w.startNs
+	}
+	for i := range tr.Samples {
+		t := tr.Samples[i].TimeNs
+		// Last window starting at or before t.
+		idx := sort.Search(len(starts), func(k int) bool { return starts[k] > t }) - 1
+		for ; idx >= 0; idx-- {
+			if windows[idx].endNs > t {
+				tr.Samples[i].Kernel = windows[idx].label
+				break
+			}
+			// Windows are non-overlapping per label but may nest
+			// across labels; scan a few earlier windows.
+			if t-windows[idx].startNs > 1<<40 {
+				break
+			}
+		}
+	}
+}
+
+// attributeRegion finds the tagged region containing va (-1 if none).
+func attributeRegion(sorted []workloads.Region, index map[string]int16, va uint64) int16 {
+	i := sort.Search(len(sorted), func(k int) bool { return sorted[k].Lo > va }) - 1
+	if i >= 0 && sorted[i].Contains(va) {
+		return index[sorted[i].Name]
+	}
+	return -1
+}
+
+// levelOfSource maps an SPE data-source payload back to a hierarchy
+// level index.
+func levelOfSource(src uint8) uint8 {
+	switch src {
+	case spepkt.SourceL1:
+		return 0
+	case spepkt.SourceL2:
+		return 1
+	case spepkt.SourceSLC:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"nmo/internal/analysis"
+	"nmo/internal/core"
+	"nmo/internal/machine"
+)
+
+// BiasResult holds the §IX future-work study: sampling bias across
+// code positions, with and without interval-counter dither.
+type BiasResult struct {
+	// Period is the sampling period used; it is chosen divisible by
+	// the kernel's ops-per-iteration so that an undithered counter
+	// phase-locks to one code position.
+	Period uint64
+	// BiasJitterOn / BiasJitterOff are total-variation distances in
+	// [0,1] between the sampled PC mix and the true per-PC frequency
+	// of memory operations.
+	BiasJitterOn  float64
+	BiasJitterOff float64
+	// TopPCShareOff is the fraction of undithered samples taken at
+	// the single most-sampled PC (1.0 = complete phase lock).
+	TopPCShareOff float64
+}
+
+// BiasStudy quantifies the sampling bias the paper leaves as future
+// work ("the bias when sampling the same event in different positions
+// of code"). STREAM's Triad loop body is 5 operations with 3 memory
+// accesses at distinct PCs appearing with equal true frequency; with
+// a period divisible by 5 and dither disabled, SPE's interval counter
+// selects the same loop slot forever — in the extreme case a
+// non-memory slot, collecting no samples at all (bias 1.0).
+func BiasStudy(sc Scale) (*BiasResult, error) {
+	const period = 1000 // divisible by STREAM's 5 ops/element
+	w, err := sc.workloadFor("stream", sc.Threads)
+	if err != nil {
+		return nil, err
+	}
+	// True memory-op PC mix: loads of b and c, store of a — one each
+	// per element at fixed code sites.
+	truth := map[uint64]float64{
+		0x0040_1000: 1.0 / 3, // load b
+		0x0040_1004: 1.0 / 3, // load c
+		0x0040_100c: 1.0 / 3, // store a
+	}
+
+	run := func(jitter bool) (*core.Profile, error) {
+		m := machine.New(sc.specFor())
+		cfg := sc.samplingConfig(period, 0)
+		cfg.Jitter = jitter
+		s, err := core.NewSession(cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(w)
+	}
+
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BiasResult{
+		Period:        period,
+		BiasJitterOn:  analysis.PCBias(on.Trace, truth),
+		BiasJitterOff: analysis.PCBias(off.Trace, truth),
+	}
+	if h := analysis.PCHistogramOf(off.Trace); len(h) > 0 && len(off.Trace.Samples) > 0 {
+		res.TopPCShareOff = float64(h[0].Count) / float64(len(off.Trace.Samples))
+	}
+	return res, nil
+}

@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§§V–VII). Each Fig*/Table* function is a
+// self-contained runner used by cmd/nmorepro, bench_test.go, and the
+// EXPERIMENTS.md record.
+//
+// The runs are scaled-down versions of the paper's: the testbed
+// executed seconds-to-minutes of real time (billions of operations);
+// the simulation runs tens of millions of operations and scales the
+// profiler buffers with the run length so the buffer-pressure
+// phenomena appear at the same relative positions. Scale collects all
+// the knobs; DefaultScale is what EXPERIMENTS.md records, QuickScale
+// keeps unit tests and smoke benches fast.
+package experiments
+
+import (
+	"fmt"
+
+	"nmo/internal/analysis"
+	"nmo/internal/core"
+	"nmo/internal/machine"
+	"nmo/internal/perfev"
+	"nmo/internal/sim"
+	"nmo/internal/workloads"
+)
+
+// Scale sets experiment sizes.
+type Scale struct {
+	// Trials is the number of repetitions per configuration (the
+	// paper uses at least five).
+	Trials int
+	// StreamElems / CFDElems / BFSNodes size the cycle-level
+	// workloads for the sensitivity studies.
+	StreamElems int
+	CFDElems    int
+	BFSNodes    int
+	BFSDegree   int
+	// Iters is the iteration count for STREAM/CFD.
+	Iters int
+	// Threads is the thread count for the period sweeps (Figs. 7–8).
+	Threads int
+	// Cores is the machine size.
+	Cores int
+	// PageBytes is the scaled mmap page size for buffer experiments.
+	PageBytes int
+	// WatermarkBytes is the aux wakeup watermark for the sweeps.
+	WatermarkBytes uint32
+	// CloudFreqHz is the scaled clock for the CloudSuite timelines.
+	CloudFreqHz uint64
+	// CloudBlockBytes is the bulk-transfer granularity of the
+	// phase-level workloads.
+	CloudBlockBytes uint32
+	// Seed is the base seed; trial t derives seed Seed+t.
+	Seed uint64
+}
+
+// DefaultScale is the configuration used to produce EXPERIMENTS.md.
+func DefaultScale() Scale {
+	return Scale{
+		Trials:          5,
+		StreamElems:     2_000_000,
+		CFDElems:        600_000,
+		BFSNodes:        400_000,
+		BFSDegree:       8,
+		Iters:           2,
+		Threads:         32,
+		Cores:           128,
+		PageBytes:       1024,
+		WatermarkBytes:  4096,
+		CloudFreqHz:     1_000_000,
+		CloudBlockBytes: 1 << 20,
+		Seed:            42,
+	}
+}
+
+// QuickScale is a reduced configuration for tests and smoke benches.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.Trials = 2
+	s.StreamElems = 1_000_000
+	s.CFDElems = 120_000
+	s.BFSNodes = 80_000
+	s.Cores = 64
+	s.CloudFreqHz = 200_000
+	s.CloudBlockBytes = 8 << 20
+	return s
+}
+
+// specFor builds the machine spec for cycle-level experiments.
+func (sc Scale) specFor() machine.Spec {
+	return machine.AmpereAltraMax().WithCores(sc.Cores)
+}
+
+// cloudSpec builds the scaled-clock machine for the CloudSuite
+// timelines: the cycle budget of 1 simulated second shrinks with the
+// clock, and the DRAM service rate is rescaled so the absolute
+// bandwidth (200 GB/s peak) is preserved.
+func (sc Scale) cloudSpec() machine.Spec {
+	s := machine.AmpereAltraMax().WithCores(sc.Cores).WithFreq(sc.CloudFreqHz)
+	s.DRAM.PeakBytesPerCycle = 200e9 / float64(sc.CloudFreqHz)
+	s.DRAM.BaseLatency = 1 // latency constants are meaningless at phase scale
+	s.DRAM.HideCycles = 1
+	s.DRAM.TailProb = -1
+	// Block transfers are sparse on the scaled clock; a small quantum
+	// keeps the round-robin skew on the shared device clock well below
+	// the inter-block spacing.
+	s.Quantum = 32
+	return s
+}
+
+// workloadFor constructs a named cycle-level workload with the given
+// thread count.
+func (sc Scale) workloadFor(name string, threads int) (workloads.Workload, error) {
+	switch name {
+	case "stream":
+		return workloads.NewStream(workloads.StreamConfig{
+			Elems: sc.StreamElems, Threads: threads, Iters: sc.Iters,
+		}), nil
+	case "cfd":
+		return workloads.NewCFD(workloads.CFDConfig{
+			Elems: sc.CFDElems, Threads: threads, Iters: sc.Iters, Seed: sc.Seed,
+		}), nil
+	case "bfs":
+		// Several traversals from different sources: the first streams
+		// the CSR cold, the rest run warm — BFS's clean-sampling
+		// behaviour in the paper comes from its cache-resident steady
+		// state.
+		return workloads.NewBFS(workloads.BFSConfig{
+			Nodes: sc.BFSNodes, Degree: sc.BFSDegree, Threads: threads,
+			Iters: 5, Seed: sc.Seed,
+		}), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", name)
+}
+
+// baselineWall runs the workload uninstrumented and returns wall
+// cycles (the paper's main-function timing baseline).
+func baselineWall(m *machine.Machine, w workloads.Workload) (sim.Cycles, error) {
+	s, err := core.NewSession(core.DefaultConfig(), m)
+	if err != nil {
+		return 0, err
+	}
+	p, err := s.Run(w)
+	if err != nil {
+		return 0, err
+	}
+	return p.Wall, nil
+}
+
+// trialResult is one profiled run's evaluation metrics.
+type trialResult struct {
+	accuracy   float64
+	overhead   float64
+	samples    uint64
+	collisions uint64 // flagged aux records, the paper's Fig. 8c metric
+	hwColl     uint64
+	truncated  uint64
+	profile    *core.Profile
+}
+
+// runTrial profiles the workload and evaluates Eq. (1) and overhead
+// against the provided baseline.
+func runTrial(m *machine.Machine, w workloads.Workload, cfg core.Config,
+	baseline sim.Cycles) (trialResult, error) {
+
+	s, err := core.NewSession(cfg, m)
+	if err != nil {
+		return trialResult{}, err
+	}
+	p, err := s.Run(w)
+	if err != nil {
+		return trialResult{}, err
+	}
+	return trialResult{
+		accuracy:   analysis.Accuracy(p.MemAccesses, p.SPE.Processed, cfg.EffectivePeriod()),
+		overhead:   analysis.Overhead(baseline, p.Wall),
+		samples:    p.SPE.Processed,
+		collisions: p.Kernel.FlaggedCollisions,
+		hwColl:     p.SPE.Collisions,
+		truncated:  p.SPE.TruncatedHW + p.Kernel.TruncatedRecords,
+		profile:    p,
+	}, nil
+}
+
+// samplingConfig builds the profiler configuration for sensitivity
+// experiments.
+func (sc Scale) samplingConfig(period uint64, trial int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = core.ModeSample
+	cfg.Period = period
+	cfg.PageBytes = sc.PageBytes
+	cfg.AuxWatermarkBytes = sc.WatermarkBytes
+	// Aux/ring in scaled pages: defaults mirror NMO's 1 MiB in scaled
+	// units (1024 pages of 1 KiB at the default PageBytes).
+	cfg.RingPages = 8
+	cfg.AuxPages = 1024
+	cfg.Seed = sc.Seed + uint64(trial)*7919
+	cfg.MaxSamples = 1 << 22
+	// Kernel costs scaled with the shortened runs (DESIGN.md §2;
+	// EXPERIMENTS.md discusses the scaling).
+	cfg.Costs = perfev.Costs{
+		IRQBase:      1_200,
+		IRQPerRecord: 25,
+		DrainBase:    400,
+		DrainPerByte: 0.1,
+		IRQDeadTime:  20_000,
+		MinAuxPages:  4,
+	}
+	return cfg
+}

@@ -1,0 +1,5 @@
+package isa
+
+import "unsafe"
+
+func sizeOfOp() uintptr { return unsafe.Sizeof(Op{}) }

@@ -1,0 +1,103 @@
+package memsim
+
+// TLB is a fully associative translation lookaside buffer with LRU
+// replacement over 64 KB pages (the page size of the paper's ARM
+// testbed, §IV-A). A TLB miss adds a translation latency that the SPE
+// unit reports in the translation-latency counter packet (0x9a).
+//
+// It is modeled separately from the caches because irregular workloads
+// (CFD gathers, BFS frontier hops) take many more TLB misses than
+// streaming ones, which widens their latency distribution — one of the
+// effects behind the per-workload collision differences in Fig. 8c.
+type TLB struct {
+	pageBits uint
+	entries  []uint64 // page+1; 0 = invalid
+	lru      []uint8
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB constructs a TLB with the given number of entries and page
+// size (bytes, power of two).
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || entries > 255 {
+		panic("memsim: TLB entries must be in [1,255]")
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("memsim: page size must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < pageBytes {
+		bits++
+	}
+	t := &TLB{
+		pageBits: bits,
+		entries:  make([]uint64, entries),
+		lru:      make([]uint8, entries),
+	}
+	t.initLRU()
+	return t
+}
+
+// initLRU makes the ranks a permutation so eviction has a unique LRU
+// victim (see Cache.initLRU).
+func (t *TLB) initLRU() {
+	for i := range t.lru {
+		t.lru[i] = uint8(i)
+	}
+}
+
+// Access looks up the page of addr, installing it on miss. Returns
+// whether it hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr>>t.pageBits + 1
+	for i, e := range t.entries {
+		if e == page {
+			t.touch(i)
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	worst := uint8(0)
+	for i, r := range t.lru {
+		if t.entries[i] == 0 {
+			victim = i
+			break
+		}
+		if r >= worst {
+			worst = r
+			victim = i
+		}
+	}
+	t.entries[victim] = page
+	t.touch(victim)
+	return false
+}
+
+func (t *TLB) touch(hit int) {
+	h := t.lru[hit]
+	for i := range t.lru {
+		if t.lru[i] < h {
+			t.lru[i]++
+		}
+	}
+	t.lru[hit] = 0
+}
+
+// Stats returns cumulative hit/miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = 0
+	}
+	t.initLRU()
+	t.hits, t.misses = 0, 0
+}
+
+// PageBytes returns the page size in bytes.
+func (t *TLB) PageBytes() int { return 1 << t.pageBits }

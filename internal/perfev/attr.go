@@ -1,0 +1,119 @@
+// Package perfev simulates the subset of the Linux perf_event
+// interface that NMO uses (§IV-A of the paper): perf_event_open with
+// an ARM SPE PMU attribute, the mmap'd ring buffer with its metadata
+// page, the separate aux buffer that SPE hardware writes into,
+// PERF_RECORD_AUX metadata records, aux flags (truncation/collision),
+// wakeup-driven monitoring, and plain counting events (perf stat's
+// mem_access baseline).
+//
+// The interface is kept deliberately close to the real one — type
+// 0x2c for the SPE PMU, the arm_spe_pmu config bit layout where
+// 0x600000001 selects load+store sampling with timestamps enabled,
+// 64 KB pages, a metadata page exposing data_head/data_tail/
+// aux_head/aux_tail and the time_zero/time_shift/time_mult timescale —
+// so that the NMO layer above is a faithful port of the paper's tool
+// rather than a convenience wrapper.
+package perfev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event types (perf_event_attr.type).
+const (
+	// TypeHardware is PERF_TYPE_HARDWARE (generic events).
+	TypeHardware uint32 = 0
+	// TypeRaw is PERF_TYPE_RAW (raw PMU event codes).
+	TypeRaw uint32 = 4
+	// TypeArmSPE is the dynamic PMU type of the ARM SPE device. The
+	// paper hardcodes the hex value 0x2c observed on its testbed.
+	TypeArmSPE uint32 = 0x2c
+)
+
+// Raw ARM PMUv3 event codes used by NMO.
+const (
+	// RawMemAccess (0x13) counts architecturally executed memory
+	// accesses; it is the denominator of the paper's Eq. (1).
+	RawMemAccess uint64 = 0x13
+	// RawBusAccess (0x19) counts bus-level accesses; NMO derives
+	// bandwidth by dividing bus traffic by the interval length.
+	RawBusAccess uint64 = 0x19
+)
+
+// ARM SPE config bits, following the Linux arm_spe_pmu format
+// (drivers/perf/arm_spe_pmu.c): ts_enable bit 0, pa_enable bit 1,
+// pct_enable bit 2, jitter bit 16, branch/load/store filters bits
+// 32–34. The value 0x600000001 — the one the paper quotes — is
+// load filter + store filter + timestamps.
+const (
+	SPETSEnable     uint64 = 1 << 0
+	SPEPAEnable     uint64 = 1 << 1
+	SPEPCTEnable    uint64 = 1 << 2
+	SPEJitter       uint64 = 1 << 16
+	SPEBranchFilter uint64 = 1 << 32
+	SPELoadFilter   uint64 = 1 << 33
+	SPEStoreFilter  uint64 = 1 << 34
+)
+
+// SPEConfigLoadStore is the config value NMO uses for sampling all
+// loads and stores (the paper's 0x600000001).
+const SPEConfigLoadStore = SPETSEnable | SPELoadFilter | SPEStoreFilter
+
+// Attr mirrors the fields of perf_event_attr that the simulation
+// honours.
+type Attr struct {
+	// Type selects the PMU: TypeArmSPE for sampling, TypeRaw for
+	// counting.
+	Type uint32
+	// Config carries the SPE filter bits (sampling) or the raw event
+	// code (counting).
+	Config uint64
+	// Config1 is the SPE event filter mask (PMSEVFR); zero keeps all.
+	Config1 uint64
+	// Config2 is the SPE minimum latency filter (PMSLATFR); zero
+	// keeps all.
+	Config2 uint64
+	// SamplePeriod is the SPE sampling interval in operations.
+	SamplePeriod uint64
+	// AuxWatermark is the number of aux bytes after which the kernel
+	// inserts a PERF_RECORD_AUX and wakes the monitor. Zero defaults
+	// to half the aux buffer, matching perf's behaviour of adapting
+	// the wakeup frequency to the buffer size.
+	AuxWatermark uint32
+	// Disabled creates the event stopped; Enable starts it.
+	Disabled bool
+}
+
+// Attr validation errors.
+var (
+	ErrBadType      = errors.New("perfev: unsupported event type")
+	ErrNoPeriod     = errors.New("perfev: SPE event requires a sample period")
+	ErrNoFilters    = errors.New("perfev: SPE event selects no operation classes")
+	ErrNotSampling  = errors.New("perfev: operation valid only on sampling events")
+	ErrNotMapped    = errors.New("perfev: ring/aux buffer not mapped")
+	ErrBadPages     = errors.New("perfev: page count must be a positive power of two")
+	ErrAlreadyMaped = errors.New("perfev: buffer already mapped")
+	ErrBadCore      = errors.New("perfev: core index out of range")
+)
+
+func (a *Attr) validate() error {
+	switch a.Type {
+	case TypeArmSPE:
+		if a.SamplePeriod == 0 {
+			return ErrNoPeriod
+		}
+		if a.Config&(SPELoadFilter|SPEStoreFilter|SPEBranchFilter) == 0 {
+			return ErrNoFilters
+		}
+		return nil
+	case TypeRaw, TypeHardware:
+		return nil
+	default:
+		return fmt.Errorf("%w: %#x", ErrBadType, a.Type)
+	}
+}
+
+// IsSampling reports whether the attribute describes an SPE sampling
+// event (as opposed to a counter).
+func (a *Attr) IsSampling() bool { return a.Type == TypeArmSPE }

@@ -1,0 +1,395 @@
+package perfev
+
+import (
+	"nmo/internal/isa"
+	"nmo/internal/ringbuf"
+	"nmo/internal/sim"
+	"nmo/internal/spe"
+	"nmo/internal/spepkt"
+)
+
+// WakeupFunc is the monitor callback invoked when the kernel inserts a
+// PERF_RECORD_AUX and wakes the polling monitor (NMO watches the ring
+// with epoll; this callback is the simulation's equivalent of the
+// epoll readiness event). span holds the raw aux bytes described by
+// rec; they are valid only during the call. drainDone is the simulated
+// time at which the monitor thread finishes consuming the span — the
+// earliest time the decoded samples can be considered "processed".
+type WakeupFunc func(now, drainDone sim.Cycles, ev *Event, rec RecordAux, span []byte)
+
+// EventStats aggregates kernel-side accounting for one event.
+type EventStats struct {
+	Wakeups            uint64     // buffer-management interrupts taken
+	AuxRecords         uint64     // PERF_RECORD_AUX records inserted
+	LostRecords        uint64     // data-ring overflows
+	TruncatedRecords   uint64     // SPE records dropped: aux full / too small
+	TruncatedBytes     uint64     // bytes of dropped SPE records
+	FlaggedCollisions  uint64     // aux records carrying AuxFlagCollision
+	FlaggedTruncations uint64     // aux records carrying AuxFlagTruncated
+	DrainedBytes       uint64     // aux bytes consumed by the monitor
+	IRQCycles          sim.Cycles // total interrupt time charged to the core
+}
+
+// pendingDrain is a scheduled monitor consumption of an aux span.
+type pendingDrain struct {
+	done      sim.Cycles
+	auxBytes  int
+	dataBytes int
+}
+
+// Event is an open perf event: either an SPE sampling event (with
+// data + aux buffers) or a plain counter.
+type Event struct {
+	kernel *Kernel
+	attr   Attr
+	core   int
+
+	enabled bool
+
+	// Counting state.
+	count uint64
+
+	// Sampling state.
+	unit            *spe.Unit
+	dataRing        *ringbuf.Buf
+	auxRing         *ringbuf.Buf
+	watermark       uint64
+	lastServiceHead uint64
+	collAtService   uint64
+	truncSinceSvc   bool
+	recsSinceSvc    uint64
+	pending         []pendingDrain
+	stopped         bool       // buffer-full: collection paused (PMBSR.S)
+	deadUntil       sim.Cycles // post-IRQ service window: unit stopped
+	wakeup          WakeupFunc
+	irqPenalty      sim.Cycles
+	auxRecBuf       [auxRecordSize]byte
+
+	stats EventStats
+}
+
+func newEvent(k *Kernel, attr Attr, core int) *Event {
+	ev := &Event{kernel: k, attr: attr, core: core}
+	if attr.IsSampling() {
+		cfg := spe.Config{
+			Period:             attr.SamplePeriod,
+			SampleLoads:        attr.Config&SPELoadFilter != 0,
+			SampleStores:       attr.Config&SPEStoreFilter != 0,
+			SampleBranches:     attr.Config&SPEBranchFilter != 0,
+			MinLatency:         uint16(attr.Config2),
+			CollectPA:          attr.Config&SPEPAEnable != 0,
+			TimerDiv:           1,
+			CorruptOnCollision: 64,
+		}
+		if attr.Config&SPEJitter != 0 {
+			cfg.JitterBits = 8
+		}
+		ev.unit = spe.NewUnit(cfg, k.rng.Derive(uint64(core)*2+1), ev)
+	}
+	if !attr.Disabled {
+		ev.enabled = true
+		if ev.unit != nil {
+			ev.unit.Enable()
+		}
+	}
+	return ev
+}
+
+// Core returns the core index the event is bound to.
+func (e *Event) Core() int { return e.core }
+
+// Attr returns the attributes the event was opened with.
+func (e *Event) Attr() Attr { return e.attr }
+
+// Stats returns kernel-side accounting.
+func (e *Event) Stats() EventStats { return e.stats }
+
+// SPEStats returns the hardware unit's counters (zero value for
+// counting events).
+func (e *Event) SPEStats() spe.Stats {
+	if e.unit == nil {
+		return spe.Stats{}
+	}
+	return e.unit.Stats()
+}
+
+// MmapRing maps the data ring of npages data pages (a 2^n count) plus
+// the implicit metadata page, mirroring NMO's mmap of N+1 pages.
+func (e *Event) MmapRing(npages int) error {
+	if !e.attr.IsSampling() {
+		return ErrNotSampling
+	}
+	if e.dataRing != nil {
+		return ErrAlreadyMaped
+	}
+	if npages <= 0 || npages&(npages-1) != 0 {
+		return ErrBadPages
+	}
+	e.dataRing = ringbuf.New(npages * e.kernel.pageSize)
+	return nil
+}
+
+// MmapAux maps the aux area of npages pages (a 2^n count). The SPE
+// hardware writes sample records here.
+func (e *Event) MmapAux(npages int) error {
+	if !e.attr.IsSampling() {
+		return ErrNotSampling
+	}
+	if e.auxRing != nil {
+		return ErrAlreadyMaped
+	}
+	if npages <= 0 || npages&(npages-1) != 0 {
+		return ErrBadPages
+	}
+	e.auxRing = ringbuf.New(npages * e.kernel.pageSize)
+	wm := uint64(e.attr.AuxWatermark)
+	if wm == 0 || wm > uint64(e.auxRing.Size()) {
+		wm = uint64(e.auxRing.Size() / 2)
+	}
+	e.watermark = wm
+	return nil
+}
+
+// SetWakeup registers the monitor callback (epoll equivalent).
+func (e *Event) SetWakeup(fn WakeupFunc) { e.wakeup = fn }
+
+// Enable starts counting/sampling (PERF_EVENT_IOC_ENABLE).
+func (e *Event) Enable() {
+	e.enabled = true
+	if e.unit != nil {
+		e.unit.Enable()
+	}
+}
+
+// Disable stops the event (PERF_EVENT_IOC_DISABLE).
+func (e *Event) Disable() {
+	e.enabled = false
+	if e.unit != nil {
+		e.unit.Disable()
+	}
+}
+
+// ReadCount returns the counter value (read(2) on a counting fd).
+func (e *Event) ReadCount() uint64 { return e.count }
+
+// ResetCount zeroes the counter (PERF_EVENT_IOC_RESET).
+func (e *Event) ResetCount() { e.count = 0 }
+
+// Mmap returns the metadata-page view: ring offsets plus the
+// timescale conversion fields NMO reads for SPE timestamp conversion.
+type MmapPage struct {
+	DataHead, DataTail uint64
+	AuxHead, AuxTail   uint64
+	TimeZero           uint64
+	TimeShift          uint32
+	TimeMult           uint32
+}
+
+// Mmap returns a snapshot of the metadata page.
+func (e *Event) Mmap() MmapPage {
+	p := MmapPage{
+		TimeZero:  e.kernel.timescale.TimeZero,
+		TimeShift: e.kernel.timescale.TimeShift,
+		TimeMult:  e.kernel.timescale.TimeMult,
+	}
+	if e.dataRing != nil {
+		p.DataHead, p.DataTail = e.dataRing.Head(), e.dataRing.Tail()
+	}
+	if e.auxRing != nil {
+		p.AuxHead, p.AuxTail = e.auxRing.Head(), e.auxRing.Tail()
+	}
+	return p
+}
+
+// OnOp is the per-operation probe the machine calls for every decoded
+// operation on this event's core. It returns the interrupt time (in
+// cycles) to charge to the core — zero except when a buffer
+// management interrupt fired.
+func (e *Event) OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8, tlbMiss, remote bool) sim.Cycles {
+	if !e.enabled {
+		return 0
+	}
+	if e.unit != nil {
+		e.unit.OnOp(now, op, lat, level, tlbMiss, remote)
+		p := e.irqPenalty
+		e.irqPenalty = 0
+		return p
+	}
+	// Counting event.
+	switch {
+	case e.attr.Config == RawMemAccess && op.Kind.IsMemory():
+		e.count += accessesOf(op)
+	case e.attr.Config == RawBusAccess && op.Kind.IsMemory() && level >= 3:
+		e.count += accessesOf(op)
+	}
+	return 0
+}
+
+// accessesOf converts an op into an architectural access count: block
+// ops stand for one access per cache line.
+func accessesOf(op *isa.Op) uint64 {
+	if op.Kind == isa.KindBlockLoad || op.Kind == isa.KindBlockStore {
+		n := uint64(op.Size) / 64
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+	return 1
+}
+
+// WriteRecord implements spe.Sink: the hardware path from the SPE unit
+// into the aux area. It returns false when the record is truncated.
+func (e *Event) WriteRecord(now sim.Cycles, rec []byte) bool {
+	if e.auxRing == nil ||
+		e.auxRing.Size() < e.kernel.costs.MinAuxPages*e.kernel.pageSize {
+		// Unmapped or below the driver's minimum working size: SPE
+		// cannot deliver at all (§VII-B: "SPE loses all samples if the
+		// aux buffer is not large enough"). No interrupt is raised, so
+		// this failure mode is also the cheapest — matching the
+		// near-zero overhead at 2 pages in Fig. 9.
+		e.stats.TruncatedRecords++
+		e.stats.TruncatedBytes += uint64(len(rec))
+		return false
+	}
+	e.applyDrains(now)
+	if now < e.deadUntil {
+		// The buffer management interrupt is still being serviced;
+		// the unit is stopped and this record is lost.
+		e.truncSinceSvc = true
+		e.stats.TruncatedRecords++
+		e.stats.TruncatedBytes += uint64(len(rec))
+		return false
+	}
+	if e.stopped && e.auxRing.Free() >= len(rec) {
+		// The monitor freed space; profiling resumes (the driver
+		// clears PMBSR.S and restarts the unit).
+		e.stopped = false
+	}
+	if e.stopped {
+		e.stats.TruncatedRecords++
+		e.stats.TruncatedBytes += uint64(len(rec))
+		return false
+	}
+	if !e.auxRing.Write(rec) {
+		e.truncSinceSvc = true
+		e.stats.TruncatedRecords++
+		e.stats.TruncatedBytes += uint64(len(rec))
+		// Buffer full: the hardware raises one maintenance interrupt
+		// (PMBSR.S), the kernel publishes the truncated span, and
+		// collection stops until the monitor frees space.
+		e.serviceAux(now, false)
+		e.stopped = true
+		return false
+	}
+	e.recsSinceSvc++
+	if e.auxRing.Head()-e.lastServiceHead >= e.watermark {
+		e.serviceAux(now, false)
+	}
+	return true
+}
+
+// serviceAux models the SPE buffer management interrupt: it publishes
+// the aux span produced since the last service as a PERF_RECORD_AUX,
+// charges interrupt time, and hands the span to the monitor. final
+// suppresses the interrupt charge (the end-of-run drain happens after
+// the program exits, outside the measured window — §VII of the paper).
+func (e *Event) serviceAux(now sim.Cycles, final bool) {
+	head := e.auxRing.Head()
+	bytes := head - e.lastServiceHead
+	if bytes == 0 && !e.truncSinceSvc {
+		return
+	}
+	rec := RecordAux{AuxOffset: e.lastServiceHead, AuxSize: bytes}
+	if e.truncSinceSvc {
+		rec.Flags |= AuxFlagTruncated
+		e.stats.FlaggedTruncations++
+	}
+	if coll := e.unit.Stats().Collisions; coll > e.collAtService {
+		rec.Flags |= AuxFlagCollision
+		e.stats.FlaggedCollisions++
+		e.collAtService = coll
+	}
+	span := e.auxRing.ReadAt(e.lastServiceHead, int(bytes))
+
+	dataBytes := 0
+	if e.dataRing != nil {
+		n := encodeAuxRecord(e.auxRecBuf[:], rec)
+		if e.dataRing.Write(e.auxRecBuf[:n]) {
+			dataBytes = n
+		} else {
+			e.stats.LostRecords++
+		}
+	}
+
+	if !final {
+		irq := sim.Cycles(e.kernel.costs.IRQBase +
+			e.kernel.costs.IRQPerRecord*e.recsSinceSvc)
+		e.irqPenalty += irq
+		e.stats.IRQCycles += irq
+		e.stats.Wakeups++
+		e.deadUntil = now + sim.Cycles(e.kernel.costs.IRQDeadTime)
+	}
+	e.stats.AuxRecords++
+	e.stats.DrainedBytes += bytes
+
+	drainDone := e.kernel.scheduleDrain(now, int(bytes))
+	e.pending = append(e.pending, pendingDrain{
+		done: drainDone, auxBytes: int(bytes), dataBytes: dataBytes,
+	})
+	e.lastServiceHead = head
+	e.truncSinceSvc = false
+	e.recsSinceSvc = 0
+
+	if e.wakeup != nil {
+		e.wakeup(now, drainDone, e, rec, span)
+	}
+}
+
+// applyDrains retires monitor consumptions that completed by now,
+// advancing aux_tail (and the data ring tail) — which is what frees
+// space for the hardware to keep writing.
+func (e *Event) applyDrains(now sim.Cycles) {
+	i := 0
+	for ; i < len(e.pending) && e.pending[i].done <= now; i++ {
+		e.auxRing.Advance(e.pending[i].auxBytes)
+		if e.dataRing != nil && e.pending[i].dataBytes > 0 {
+			e.dataRing.Advance(e.pending[i].dataBytes)
+		}
+	}
+	if i > 0 {
+		e.pending = e.pending[i:]
+	}
+}
+
+// FinalDrain flushes any residual aux data after the workload
+// finishes. NMO's monitoring process drains the buffer after program
+// exit; the time is not charged to the application (§VII). It returns
+// the number of bytes flushed.
+func (e *Event) FinalDrain(now sim.Cycles) uint64 {
+	if e.auxRing == nil {
+		return 0
+	}
+	before := e.stats.DrainedBytes
+	e.serviceAux(now, true)
+	// Retire everything immediately: the application is gone, the
+	// monitor has exclusive use of the buffers.
+	for _, p := range e.pending {
+		e.auxRing.Advance(p.auxBytes)
+		if e.dataRing != nil && p.dataBytes > 0 {
+			e.dataRing.Advance(p.dataBytes)
+		}
+	}
+	e.pending = nil
+	return e.stats.DrainedBytes - before
+}
+
+// PendingDrains reports how many aux spans the monitor has not yet
+// finished consuming (test/diagnostic helper).
+func (e *Event) PendingDrains() int { return len(e.pending) }
+
+// DecodeSpan is a convenience wrapper around spepkt.DecodeAll for a
+// span delivered to a WakeupFunc.
+func DecodeSpan(span []byte, fn func(*spepkt.Record)) spepkt.DecodeStats {
+	return spepkt.DecodeAll(span, fn)
+}

@@ -1,0 +1,406 @@
+package perfev
+
+import (
+	"testing"
+
+	"nmo/internal/isa"
+	"nmo/internal/sim"
+	"nmo/internal/spepkt"
+	"nmo/internal/xrand"
+)
+
+func testKernel(cores int) *Kernel {
+	ts := sim.TimescaleFor(sim.Freq{Hz: 3_000_000_000}, 1, 0)
+	return NewKernel(cores, Costs{}, ts, xrand.New(99))
+}
+
+func speAttr(period uint64) *Attr {
+	return &Attr{Type: TypeArmSPE, Config: SPEConfigLoadStore, SamplePeriod: period}
+}
+
+func openSampled(t *testing.T, k *Kernel, period uint64, ringPages, auxPages int) *Event {
+	t.Helper()
+	ev, err := k.Open(speAttr(period), 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := ev.MmapRing(ringPages); err != nil {
+		t.Fatalf("MmapRing: %v", err)
+	}
+	if err := ev.MmapAux(auxPages); err != nil {
+		t.Fatalf("MmapAux: %v", err)
+	}
+	return ev
+}
+
+func feedLoads(ev *Event, n int, spacing sim.Cycles, lat uint32) sim.Cycles {
+	op := isa.Op{Kind: isa.KindLoad, Addr: 0x10000, PC: 0x400000, Size: 8}
+	now := sim.Cycles(1)
+	for i := 0; i < n; i++ {
+		op.Addr = 0x10000 + uint64(i)*8
+		ev.OnOp(now, &op, lat, 0, false, false)
+		now += spacing
+	}
+	return now
+}
+
+func TestAttrValidation(t *testing.T) {
+	k := testKernel(4)
+	cases := []struct {
+		attr Attr
+		core int
+		ok   bool
+	}{
+		{Attr{Type: TypeArmSPE, Config: SPEConfigLoadStore, SamplePeriod: 100}, 0, true},
+		{Attr{Type: TypeArmSPE, Config: SPEConfigLoadStore}, 0, false},             // no period
+		{Attr{Type: TypeArmSPE, Config: SPETSEnable, SamplePeriod: 100}, 0, false}, // no filters
+		{Attr{Type: TypeRaw, Config: RawMemAccess}, 0, true},
+		{Attr{Type: 77}, 0, false},                            // unknown type
+		{Attr{Type: TypeRaw, Config: RawMemAccess}, 9, false}, // bad core
+	}
+	for i, c := range cases {
+		_, err := k.Open(&c.attr, c.core)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestSPEConfigValue(t *testing.T) {
+	// The paper quotes 0x600000001 for "sample all loads and stores".
+	if SPEConfigLoadStore != 0x600000001 {
+		t.Errorf("SPEConfigLoadStore = %#x, want 0x600000001", SPEConfigLoadStore)
+	}
+	if TypeArmSPE != 0x2c {
+		t.Errorf("TypeArmSPE = %#x, want 0x2c", TypeArmSPE)
+	}
+}
+
+func TestCountingMemAccess(t *testing.T) {
+	k := testKernel(1)
+	ev, err := k.Open(&Attr{Type: TypeRaw, Config: RawMemAccess}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []isa.Op{
+		{Kind: isa.KindLoad, Addr: 1, Size: 8},
+		{Kind: isa.KindStore, Addr: 2, Size: 8},
+		{Kind: isa.KindALU},
+		{Kind: isa.KindBranch},
+		{Kind: isa.KindBlockLoad, Addr: 3, Size: 256}, // 4 lines
+	}
+	for i := range ops {
+		ev.OnOp(1, &ops[i], 4, 0, false, false)
+	}
+	if got := ev.ReadCount(); got != 1+1+4 {
+		t.Errorf("mem_access count = %d, want 6", got)
+	}
+	ev.ResetCount()
+	if ev.ReadCount() != 0 {
+		t.Error("ResetCount failed")
+	}
+}
+
+func TestCountingBusAccessOnlyDRAM(t *testing.T) {
+	k := testKernel(1)
+	ev, _ := k.Open(&Attr{Type: TypeRaw, Config: RawBusAccess}, 0)
+	op := isa.Op{Kind: isa.KindLoad, Addr: 1, Size: 8}
+	ev.OnOp(1, &op, 4, 0, false, false) // L1 hit
+	ev.OnOp(1, &op, 200, 3, false, false)
+	if got := ev.ReadCount(); got != 1 {
+		t.Errorf("bus_access count = %d, want 1 (only the DRAM access)", got)
+	}
+}
+
+func TestCountingDisabled(t *testing.T) {
+	k := testKernel(1)
+	ev, _ := k.Open(&Attr{Type: TypeRaw, Config: RawMemAccess, Disabled: true}, 0)
+	op := isa.Op{Kind: isa.KindLoad, Addr: 1, Size: 8}
+	ev.OnOp(1, &op, 4, 0, false, false)
+	if ev.ReadCount() != 0 {
+		t.Error("disabled event counted")
+	}
+	ev.Enable()
+	ev.OnOp(2, &op, 4, 0, false, false)
+	if ev.ReadCount() != 1 {
+		t.Error("enabled event did not count")
+	}
+}
+
+func TestMmapValidation(t *testing.T) {
+	k := testKernel(1)
+	cnt, _ := k.Open(&Attr{Type: TypeRaw, Config: RawMemAccess}, 0)
+	if err := cnt.MmapRing(8); err != ErrNotSampling {
+		t.Errorf("MmapRing on counter: %v, want ErrNotSampling", err)
+	}
+	ev, _ := k.Open(speAttr(1000), 0)
+	if err := ev.MmapRing(3); err != ErrBadPages {
+		t.Errorf("MmapRing(3): %v, want ErrBadPages", err)
+	}
+	if err := ev.MmapRing(8); err != nil {
+		t.Fatalf("MmapRing(8): %v", err)
+	}
+	if err := ev.MmapRing(8); err != ErrAlreadyMaped {
+		t.Errorf("double MmapRing: %v, want ErrAlreadyMaped", err)
+	}
+}
+
+func TestSamplingProducesAuxRecords(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 100, 8, 16)
+
+	var spans int
+	var decoded int
+	ev.SetWakeup(func(now, done sim.Cycles, e *Event, rec RecordAux, span []byte) {
+		spans++
+		st := DecodeSpan(span, func(r *spepkt.Record) { decoded++ })
+		if st.Partial != 0 {
+			t.Errorf("span has %d partial bytes", st.Partial)
+		}
+	})
+	feedLoads(ev, 3_000_000, 4, 4)
+	ev.FinalDrain(100_000_000_000)
+
+	if spans == 0 {
+		t.Fatal("no wakeups delivered")
+	}
+	st := ev.Stats()
+	if st.AuxRecords == 0 || st.DrainedBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	spest := ev.SPEStats()
+	if spest.Emitted == 0 {
+		t.Fatal("no records emitted")
+	}
+	// All emitted records must eventually be decoded (valid ones).
+	if decoded == 0 {
+		t.Fatal("nothing decoded")
+	}
+	wantRate := 3_000_000 / 100
+	if decoded < wantRate*8/10 || decoded > wantRate*11/10 {
+		t.Errorf("decoded %d records, want ~%d", decoded, wantRate)
+	}
+}
+
+func TestWatermarkControlsWakeupFrequency(t *testing.T) {
+	run := func(auxPages int) uint64 {
+		k := testKernel(1)
+		ev := openSampled(t, k, 64, 16, auxPages)
+		feedLoads(ev, 2_000_000, 4, 4)
+		ev.FinalDrain(1 << 40)
+		return ev.Stats().Wakeups
+	}
+	small, large := run(4), run(16)
+	if small == 0 || large == 0 {
+		t.Fatal("no wakeups")
+	}
+	if small <= large {
+		t.Errorf("4-page aux gave %d wakeups, 64-page gave %d; want more with smaller buffer",
+			small, large)
+	}
+}
+
+func TestIRQPenaltyCharged(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 64, 8, 4)
+	var charged sim.Cycles
+	op := isa.Op{Kind: isa.KindLoad, Addr: 0x1000, Size: 8}
+	now := sim.Cycles(1)
+	for i := 0; i < 1_000_000; i++ {
+		charged += ev.OnOp(now, &op, 4, 0, false, false)
+		now += 4
+	}
+	if charged == 0 {
+		t.Fatal("no IRQ penalty charged despite wakeups")
+	}
+	if charged != ev.Stats().IRQCycles {
+		t.Errorf("charged %d != stats %d", charged, ev.Stats().IRQCycles)
+	}
+}
+
+func TestBelowMinAuxPagesLosesEverything(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 64, 8, 2) // below MinAuxPages=4
+	var woke bool
+	ev.SetWakeup(func(_, _ sim.Cycles, _ *Event, _ RecordAux, _ []byte) { woke = true })
+	feedLoads(ev, 500_000, 4, 4)
+	ev.FinalDrain(1 << 40)
+	st := ev.Stats()
+	if woke || st.Wakeups != 0 {
+		t.Error("wakeups fired with aux below the driver minimum")
+	}
+	if st.TruncatedRecords == 0 {
+		t.Error("no truncation recorded")
+	}
+	if st.IRQCycles != 0 {
+		t.Error("IRQ time charged while losing all samples")
+	}
+}
+
+func TestTruncationWhenMonitorLags(t *testing.T) {
+	// Huge drain costs: the monitor can never keep up, so the aux
+	// ring fills and records get truncated with the flag set.
+	ts := sim.TimescaleFor(sim.Freq{Hz: 3_000_000_000}, 1, 0)
+	k := NewKernel(1, Costs{DrainBase: 1 << 40, DrainPerByte: 1}, ts, xrand.New(5))
+	ev := openSampled(t, k, 16, 8, 4)
+	feedLoads(ev, 2_000_000, 2, 4)
+	st := ev.Stats()
+	if st.TruncatedRecords == 0 {
+		t.Fatal("no truncation despite stuck monitor")
+	}
+	if st.FlaggedTruncations == 0 {
+		t.Error("truncation flag never set on aux records")
+	}
+}
+
+func TestCollisionFlagPropagates(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 16, 8, 16)
+	// Long-latency ops close together: collisions guaranteed.
+	op := isa.Op{Kind: isa.KindLoad, Addr: 0x2000, Size: 8}
+	now := sim.Cycles(1)
+	for i := 0; i < 2_000_000; i++ {
+		ev.OnOp(now, &op, 2000, 3, false, false)
+		now += 2
+	}
+	ev.FinalDrain(1 << 40)
+	if ev.SPEStats().Collisions == 0 {
+		t.Fatal("setup produced no collisions")
+	}
+	if ev.Stats().FlaggedCollisions == 0 {
+		t.Error("collision flag never set despite unit collisions")
+	}
+}
+
+func TestFinalDrainFlushesResidual(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 8, 8, 2048) // huge aux: no watermark service
+	var decoded int
+	ev.SetWakeup(func(_, _ sim.Cycles, _ *Event, _ RecordAux, span []byte) {
+		DecodeSpan(span, func(*spepkt.Record) { decoded++ })
+	})
+	feedLoads(ev, 10_000, 4, 4)
+	if decoded != 0 {
+		t.Fatalf("decoded %d before drain; watermark should not have fired", decoded)
+	}
+	n := ev.FinalDrain(1 << 40)
+	if n == 0 || decoded == 0 {
+		t.Errorf("final drain flushed %d bytes, decoded %d", n, decoded)
+	}
+	if ev.PendingDrains() != 0 {
+		t.Error("pending drains remain after FinalDrain")
+	}
+	if ev.Stats().Wakeups != 0 {
+		t.Error("final drain must not charge an interrupt")
+	}
+}
+
+func TestMetadataPage(t *testing.T) {
+	k := testKernel(1)
+	ev := openSampled(t, k, 100, 8, 16)
+	p := ev.Mmap()
+	if p.TimeMult == 0 {
+		t.Error("metadata page has zero time_mult")
+	}
+	feedLoads(ev, 200_000, 4, 4)
+	p = ev.Mmap()
+	if p.AuxHead == 0 {
+		t.Error("aux_head did not advance")
+	}
+	if p.AuxTail > p.AuxHead || p.DataTail > p.DataHead {
+		t.Error("tail ran past head")
+	}
+	ev.FinalDrain(1 << 40)
+	p = ev.Mmap()
+	if p.AuxTail != p.AuxHead {
+		t.Errorf("aux not fully consumed after final drain: tail=%d head=%d",
+			p.AuxTail, p.AuxHead)
+	}
+}
+
+func TestAuxRecordRoundTrip(t *testing.T) {
+	in := RecordAux{AuxOffset: 12345, AuxSize: 678, Flags: AuxFlagCollision | AuxFlagTruncated}
+	var buf [auxRecordSize]byte
+	n := encodeAuxRecord(buf[:], in)
+	if n != auxRecordSize {
+		t.Fatalf("encode size %d", n)
+	}
+	out, n2, ok := decodeAuxRecord(buf[:])
+	if !ok || n2 != n || out != in {
+		t.Errorf("round trip: ok=%v out=%+v", ok, out)
+	}
+	if !out.Collision() || !out.Truncated() {
+		t.Error("flag accessors wrong")
+	}
+}
+
+func TestDecodeAuxRecordSkipsUnknown(t *testing.T) {
+	var buf [lostRecordSize]byte
+	n := encodeLostRecord(buf[:], 7)
+	_, skip, ok := decodeAuxRecord(buf[:n])
+	if ok {
+		t.Error("lost record decoded as aux")
+	}
+	if skip != lostRecordSize {
+		t.Errorf("skip = %d, want %d", skip, lostRecordSize)
+	}
+	if _, _, ok := decodeAuxRecord([]byte{1, 2}); ok {
+		t.Error("short buffer decoded")
+	}
+}
+
+func TestDataRingOverflowCountsLost(t *testing.T) {
+	// Tiny data ring (1 page) + stuck monitor: RecordAux entries
+	// eventually overflow the data ring.
+	ts := sim.TimescaleFor(sim.Freq{Hz: 3_000_000_000}, 1, 0)
+	k := NewKernel(1, Costs{DrainBase: 1 << 40, DrainPerByte: 1}, ts, xrand.New(5))
+	ev, err := k.Open(speAttr(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapRing(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapAux(1024); err != nil { // big aux: many services
+		t.Fatal(err)
+	}
+	feedLoads(ev, 8_000_000, 2, 4)
+	if ev.Stats().LostRecords == 0 {
+		t.Skip("data ring did not overflow at this scale") // defensive
+	}
+}
+
+func TestKernelCloseAll(t *testing.T) {
+	k := testKernel(2)
+	k.Open(speAttr(100), 0)
+	k.Open(&Attr{Type: TypeRaw, Config: RawMemAccess}, 1)
+	if len(k.Events()) != 2 {
+		t.Fatalf("events = %d", len(k.Events()))
+	}
+	k.CloseAll()
+	if len(k.Events()) != 0 {
+		t.Error("CloseAll left events")
+	}
+}
+
+func TestSharedMonitorSerializesDrains(t *testing.T) {
+	k := testKernel(2)
+	d1 := k.scheduleDrain(100, 1000)
+	d2 := k.scheduleDrain(100, 1000)
+	if d2 <= d1 {
+		t.Errorf("drains not serialized: %d then %d", d1, d2)
+	}
+	// A later request after the monitor is free starts fresh.
+	d3 := k.scheduleDrain(d2+1_000_000, 10)
+	if d3 < d2+1_000_000 {
+		t.Errorf("drain started in the past: %d", d3)
+	}
+}
+
+func TestDefaultCostsApplied(t *testing.T) {
+	k := NewKernel(1, Costs{}, sim.Timescale{TimeMult: 1}, nil)
+	c := k.Costs()
+	if c.IRQBase == 0 || c.MinAuxPages == 0 || c.DrainPerByte == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,109 @@
+package postproc
+
+import (
+	"sort"
+
+	"nmo/internal/trace"
+)
+
+// False-sharing detection — one of the memory-centric analyses the
+// paper's introduction motivates ("identify hot memory regions that
+// cause extensive false sharing"). A cache line written by one core
+// and accessed by others forces coherence traffic even when the cores
+// touch disjoint bytes; sampled traces reveal candidates as lines
+// with multi-core access where at least one core writes and the
+// per-core byte footprints are disjoint.
+
+// LineReport describes one suspicious cache line.
+type LineReport struct {
+	// Line is the line-aligned base address.
+	Line uint64
+	// Cores is the number of distinct cores that touched the line.
+	Cores int
+	// Writers is the number of distinct cores that wrote it.
+	Writers int
+	// Samples is the number of samples on the line.
+	Samples int
+	// Disjoint is true when no two cores' sampled byte offsets
+	// overlap — the signature of *false* (rather than true) sharing.
+	Disjoint bool
+	// MeanLatency is the mean sampled latency on the line; false
+	// sharing inflates it via coherence misses.
+	MeanLatency float64
+}
+
+// FalseSharing scans the trace for shared-written cache lines of the
+// given size (64 on the testbed) and returns candidates sorted by
+// sample count. minCores filters lines touched by fewer cores.
+func FalseSharing(tr *trace.Trace, lineBytes uint64, minCores int) []LineReport {
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	if minCores < 2 {
+		minCores = 2
+	}
+	type lineState struct {
+		cores   map[int16]map[uint64]bool // core -> byte offsets sampled
+		writers map[int16]bool
+		samples int
+		latSum  float64
+	}
+	lines := map[uint64]*lineState{}
+	for i := range tr.Samples {
+		s := &tr.Samples[i]
+		line := s.VA / lineBytes * lineBytes
+		st := lines[line]
+		if st == nil {
+			st = &lineState{cores: map[int16]map[uint64]bool{}, writers: map[int16]bool{}}
+			lines[line] = st
+		}
+		offs := st.cores[s.Core]
+		if offs == nil {
+			offs = map[uint64]bool{}
+			st.cores[s.Core] = offs
+		}
+		offs[s.VA-line] = true
+		if s.Store {
+			st.writers[s.Core] = true
+		}
+		st.samples++
+		st.latSum += float64(s.Lat)
+	}
+
+	var out []LineReport
+	for line, st := range lines {
+		if len(st.cores) < minCores || len(st.writers) == 0 {
+			continue
+		}
+		out = append(out, LineReport{
+			Line:        line,
+			Cores:       len(st.cores),
+			Writers:     len(st.writers),
+			Samples:     st.samples,
+			Disjoint:    disjointOffsets(st.cores),
+			MeanLatency: st.latSum / float64(st.samples),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// disjointOffsets reports whether every sampled byte offset belongs to
+// exactly one core.
+func disjointOffsets(cores map[int16]map[uint64]bool) bool {
+	seen := map[uint64]int16{}
+	for core, offs := range cores {
+		for off := range offs {
+			if prev, ok := seen[off]; ok && prev != core {
+				return false
+			}
+			seen[off] = core
+		}
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+// Package postproc is the reproduction of NMO's extensible
+// post-processing component (§III: "flexible post-processing and
+// visualization are enabled by NMO's extensible scripting component
+// ... users can write their own in Python to process the performance
+// data"). Instead of Python, it provides a composable query pipeline
+// over sample traces: filters, projections, group-bys, temporal
+// windows, and exporters, all chainable and lazily evaluated.
+//
+//	q := postproc.Query(tr).
+//	    Filter(postproc.InRegion(tr, "a")).
+//	    Filter(postproc.StoresOnly()).
+//	    Window(1e6) // 1 ms buckets
+//	counts := q.GroupCount(postproc.ByCore())
+package postproc
+
+import (
+	"fmt"
+	"sort"
+
+	"nmo/internal/trace"
+)
+
+// Pred is a sample predicate.
+type Pred func(*trace.Sample) bool
+
+// Key projects a sample to a grouping key.
+type Key func(*trace.Sample) string
+
+// Q is a lazily-evaluated query over a trace's samples. Q values are
+// immutable; each combinator returns a new query.
+type Q struct {
+	tr    *trace.Trace
+	preds []Pred
+}
+
+// Query starts a pipeline over tr.
+func Query(tr *trace.Trace) *Q {
+	return &Q{tr: tr}
+}
+
+// Filter adds a predicate; samples must satisfy all predicates.
+func (q *Q) Filter(p Pred) *Q {
+	nq := &Q{tr: q.tr, preds: make([]Pred, len(q.preds)+1)}
+	copy(nq.preds, q.preds)
+	nq.preds[len(q.preds)] = p
+	return nq
+}
+
+// match reports whether the sample passes all predicates.
+func (q *Q) match(s *trace.Sample) bool {
+	for _, p := range q.preds {
+		if !p(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Each visits every matching sample.
+func (q *Q) Each(fn func(*trace.Sample)) {
+	for i := range q.tr.Samples {
+		s := &q.tr.Samples[i]
+		if q.match(s) {
+			fn(s)
+		}
+	}
+}
+
+// Count returns the number of matching samples.
+func (q *Q) Count() int {
+	n := 0
+	q.Each(func(*trace.Sample) { n++ })
+	return n
+}
+
+// Collect materializes the matching samples (copies).
+func (q *Q) Collect() []trace.Sample {
+	var out []trace.Sample
+	q.Each(func(s *trace.Sample) { out = append(out, *s) })
+	return out
+}
+
+// GroupCount counts matching samples per key, sorted by key.
+type Group struct {
+	Key   string
+	Count int
+}
+
+// GroupCount groups matching samples.
+func (q *Q) GroupCount(key Key) []Group {
+	m := map[string]int{}
+	q.Each(func(s *trace.Sample) { m[key(s)]++ })
+	out := make([]Group, 0, len(m))
+	for k, c := range m {
+		out = append(out, Group{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TopN returns the n largest groups by count (ties by key).
+func (q *Q) TopN(key Key, n int) []Group {
+	groups := q.GroupCount(key)
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Count != groups[j].Count {
+			return groups[i].Count > groups[j].Count
+		}
+		return groups[i].Key < groups[j].Key
+	})
+	if n < len(groups) {
+		groups = groups[:n]
+	}
+	return groups
+}
+
+// MeanLatency returns the mean sampled latency of matching samples.
+func (q *Q) MeanLatency() float64 {
+	var sum, n float64
+	q.Each(func(s *trace.Sample) { sum += float64(s.Lat); n++ })
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Window buckets matching samples into fixed time windows of width
+// ns and returns per-window counts, ordered by window start.
+type WindowCount struct {
+	StartNs uint64
+	Count   int
+}
+
+// Window buckets matching samples.
+func (q *Q) Window(widthNs uint64) []WindowCount {
+	if widthNs == 0 {
+		widthNs = 1
+	}
+	m := map[uint64]int{}
+	q.Each(func(s *trace.Sample) { m[s.TimeNs/widthNs*widthNs]++ })
+	out := make([]WindowCount, 0, len(m))
+	for start, c := range m {
+		out = append(out, WindowCount{StartNs: start, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// --- predicates ---
+
+// StoresOnly keeps write samples.
+func StoresOnly() Pred { return func(s *trace.Sample) bool { return s.Store } }
+
+// LoadsOnly keeps read samples.
+func LoadsOnly() Pred { return func(s *trace.Sample) bool { return !s.Store } }
+
+// MinLatency keeps samples at or above lat cycles.
+func MinLatency(lat uint16) Pred {
+	return func(s *trace.Sample) bool { return s.Lat >= lat }
+}
+
+// AtLevel keeps samples served by the given memory level (0=L1 ...
+// 3=DRAM).
+func AtLevel(level uint8) Pred {
+	return func(s *trace.Sample) bool { return s.Level == level }
+}
+
+// OnCore keeps samples from one hardware thread.
+func OnCore(core int16) Pred {
+	return func(s *trace.Sample) bool { return s.Core == core }
+}
+
+// InRegion keeps samples attributed to the named tagged region of tr.
+func InRegion(tr *trace.Trace, name string) Pred {
+	idx := int16(-1)
+	for i, r := range tr.Regions {
+		if r == name {
+			idx = int16(i)
+			break
+		}
+	}
+	return func(s *trace.Sample) bool { return s.Region == idx && idx >= 0 }
+}
+
+// InKernel keeps samples attributed to the named tagged phase of tr.
+func InKernel(tr *trace.Trace, name string) Pred {
+	idx := int16(-1)
+	for i, k := range tr.Kernels {
+		if k == name {
+			idx = int16(i)
+			break
+		}
+	}
+	return func(s *trace.Sample) bool { return s.Kernel == idx && idx >= 0 }
+}
+
+// AddrRange keeps samples with lo <= VA < hi.
+func AddrRange(lo, hi uint64) Pred {
+	return func(s *trace.Sample) bool { return s.VA >= lo && s.VA < hi }
+}
+
+// TimeRange keeps samples with lo <= TimeNs < hi.
+func TimeRange(lo, hi uint64) Pred {
+	return func(s *trace.Sample) bool { return s.TimeNs >= lo && s.TimeNs < hi }
+}
+
+// --- keys ---
+
+// ByRegion groups by tagged region name.
+func ByRegion(tr *trace.Trace) Key {
+	return func(s *trace.Sample) string {
+		if s.Region < 0 || int(s.Region) >= len(tr.Regions) {
+			return "-"
+		}
+		return tr.Regions[s.Region]
+	}
+}
+
+// ByKernel groups by tagged phase name.
+func ByKernel(tr *trace.Trace) Key {
+	return func(s *trace.Sample) string {
+		if s.Kernel < 0 || int(s.Kernel) >= len(tr.Kernels) {
+			return "-"
+		}
+		return tr.Kernels[s.Kernel]
+	}
+}
+
+// ByCore groups by hardware thread.
+func ByCore() Key {
+	return func(s *trace.Sample) string { return fmt.Sprintf("core%02d", s.Core) }
+}
+
+// ByLevel groups by memory level.
+func ByLevel() Key {
+	names := [4]string{"L1", "L2", "SLC", "DRAM"}
+	return func(s *trace.Sample) string {
+		l := s.Level
+		if l > 3 {
+			l = 3
+		}
+		return names[l]
+	}
+}
+
+// ByPC groups by instruction address.
+func ByPC() Key {
+	return func(s *trace.Sample) string { return fmt.Sprintf("%#x", s.PC) }
+}
+
+// ByPage groups by the 64 KB page of the data address — the paper's
+// testbed page granularity, useful for hot-page placement decisions.
+func ByPage(pageBytes uint64) Key {
+	if pageBytes == 0 {
+		pageBytes = 64 << 10
+	}
+	return func(s *trace.Sample) string {
+		return fmt.Sprintf("%#x", s.VA/pageBytes*pageBytes)
+	}
+}

@@ -1,0 +1,192 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV series, and terminal heatmaps — the textual equivalents of the
+// paper's figures, emitted by cmd/nmorepro and recorded in
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nmo/internal/analysis"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// MeanStd formats an analysis.Stats as "mean ± std".
+func MeanStd(st analysis.Stats) string {
+	return fmt.Sprintf("%.3f ± %.3f", st.Mean, st.StdDev)
+}
+
+// GiB formats bytes as GiB.
+func GiB(bytes uint64) string {
+	return fmt.Sprintf("%.1f GiB", float64(bytes)/float64(1<<30))
+}
+
+// heatRamp maps intensity to characters (low to high).
+const heatRamp = " .:-=+*#%@"
+
+// RenderHeatmap draws the heatmap as ASCII art, time on the x axis and
+// address on the y axis (low addresses at the bottom, like the
+// paper's scatter plots).
+func RenderHeatmap(w io.Writer, h *analysis.Heatmap, title string) error {
+	max := h.MaxCount()
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "## %s\n", title)
+	}
+	fmt.Fprintf(&b, "addr %#x .. %#x | time %.3fms .. %.3fms | %d samples\n",
+		h.AddrMin, h.AddrMax,
+		float64(h.TimeMin)/1e6, float64(h.TimeMax)/1e6, h.Total())
+	for ab := h.AddrBins - 1; ab >= 0; ab-- {
+		b.WriteByte('|')
+		for tb := 0; tb < h.TimeBins; tb++ {
+			c := h.At(tb, ab)
+			if max == 0 || c == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := int(uint64(c) * uint64(len(heatRamp)-1) / uint64(max))
+			if idx == 0 {
+				idx = 1 // nonzero cells always visible
+			}
+			b.WriteByte(heatRamp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", h.TimeBins))
+	b.WriteString("+\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderSeries draws a (time, value) series as a compact ASCII plot
+// with `width` columns and `height` rows, used for the Fig. 2/3
+// temporal views.
+func RenderSeries(w io.Writer, title, unit string, times, values []float64, width, height int) error {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "## %s\n", title)
+	}
+	if len(values) == 0 {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	var vmax float64
+	for _, v := range values {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	if vmax == 0 {
+		vmax = 1
+	}
+	// Downsample into width columns by max.
+	cols := make([]float64, width)
+	for i, v := range values {
+		c := i * width / len(values)
+		if v > cols[c] {
+			cols[c] = v
+		}
+	}
+	for row := height - 1; row >= 0; row-- {
+		thresh := vmax * float64(row) / float64(height)
+		if row == height-1 {
+			fmt.Fprintf(&b, "%8.1f |", vmax)
+		} else if row == 0 {
+			fmt.Fprintf(&b, "%8.1f |", 0.0)
+		} else {
+			b.WriteString("         |")
+		}
+		for _, cv := range cols {
+			if cv > thresh {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "         +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          t=%.1fs .. %.1fs (%s)\n",
+		times[0], times[len(times)-1], unit)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,125 @@
+// Package ringbuf implements the byte ring buffer protocol used by the
+// simulated perf_event subsystem.
+//
+// perf mmap areas follow a single-producer / single-consumer protocol:
+// the kernel advances a monotonically increasing head as it writes,
+// userspace advances tail as it consumes, and the live span is
+// head-tail bytes within a power-of-two area. The same protocol is
+// used twice in this repository: for the data ring (where
+// PERF_RECORD_AUX metadata records land) and for the aux area (where
+// SPE hardware writes sample records).
+//
+// Head and tail are absolute byte offsets (never wrapped); Buf.index
+// masks them into the backing array, exactly like the kernel's
+// handling of perf_event_mmap_page.data_head/data_tail.
+package ringbuf
+
+import "fmt"
+
+// Buf is a power-of-two byte ring buffer. The zero value is not
+// usable; construct with New.
+type Buf struct {
+	data []byte
+	mask uint64
+	head uint64 // producer offset (absolute)
+	tail uint64 // consumer offset (absolute)
+
+	dropped uint64 // bytes rejected for lack of space
+}
+
+// New creates a ring buffer of the given size, which must be a
+// positive power of two.
+func New(size int) *Buf {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("ringbuf: size %d must be a positive power of two", size))
+	}
+	return &Buf{data: make([]byte, size), mask: uint64(size - 1)}
+}
+
+// Size returns the buffer capacity in bytes.
+func (b *Buf) Size() int { return len(b.data) }
+
+// Head returns the absolute producer offset.
+func (b *Buf) Head() uint64 { return b.head }
+
+// Tail returns the absolute consumer offset.
+func (b *Buf) Tail() uint64 { return b.tail }
+
+// Used returns the number of unconsumed bytes.
+func (b *Buf) Used() int { return int(b.head - b.tail) }
+
+// Free returns the number of writable bytes.
+func (b *Buf) Free() int { return len(b.data) - b.Used() }
+
+// Dropped returns the cumulative number of bytes rejected by Write for
+// lack of space (the truncation counter).
+func (b *Buf) Dropped() uint64 { return b.dropped }
+
+// Write appends p if it fits entirely; partial writes never happen
+// (an SPE record is all-or-nothing, which is what makes a full aux
+// buffer *truncate* samples rather than tear them). It reports whether
+// the write succeeded.
+func (b *Buf) Write(p []byte) bool {
+	if len(p) > b.Free() {
+		b.dropped += uint64(len(p))
+		return false
+	}
+	pos := b.head & b.mask
+	n := copy(b.data[pos:], p)
+	if n < len(p) {
+		copy(b.data, p[n:])
+	}
+	b.head += uint64(len(p))
+	return true
+}
+
+// Peek returns up to max unconsumed bytes starting at tail without
+// advancing it. The returned slice is a copy (records may wrap the
+// ring edge, and callers keep decoded spans across later writes).
+func (b *Buf) Peek(max int) []byte {
+	avail := b.Used()
+	if max < 0 || max > avail {
+		max = avail
+	}
+	out := make([]byte, max)
+	pos := b.tail & b.mask
+	n := copy(out, b.data[pos:])
+	if n < max {
+		copy(out[n:], b.data)
+	}
+	return out
+}
+
+// ReadAt copies size bytes starting at absolute offset off into a new
+// slice. It is used to service PERF_RECORD_AUX records, whose
+// aux_offset/aux_size fields address the aux area by absolute offset.
+// It panics if the span is not within [tail, head] — that would be a
+// protocol violation by the caller.
+func (b *Buf) ReadAt(off uint64, size int) []byte {
+	if off < b.tail || off+uint64(size) > b.head {
+		panic(fmt.Sprintf("ringbuf: ReadAt [%d,%d) outside live span [%d,%d)",
+			off, off+uint64(size), b.tail, b.head))
+	}
+	out := make([]byte, size)
+	pos := off & b.mask
+	n := copy(out, b.data[pos:])
+	if n < size {
+		copy(out[n:], b.data)
+	}
+	return out
+}
+
+// Advance moves the consumer tail forward by n bytes. It panics if n
+// exceeds the unconsumed span.
+func (b *Buf) Advance(n int) {
+	if n < 0 || n > b.Used() {
+		panic(fmt.Sprintf("ringbuf: Advance(%d) with only %d used", n, b.Used()))
+	}
+	b.tail += uint64(n)
+}
+
+// Reset empties the buffer and clears the drop counter. Offsets
+// restart from zero.
+func (b *Buf) Reset() {
+	b.head, b.tail, b.dropped = 0, 0, 0
+}

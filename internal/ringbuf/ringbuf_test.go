@@ -1,0 +1,210 @@
+package ringbuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int{0, -8, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	if b := New(64); b.Size() != 64 {
+		t.Errorf("Size = %d, want 64", b.Size())
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	b := New(64)
+	if !b.Write([]byte("hello")) {
+		t.Fatal("Write failed with space available")
+	}
+	if b.Used() != 5 || b.Free() != 59 {
+		t.Errorf("Used/Free = %d/%d", b.Used(), b.Free())
+	}
+	got := b.Peek(-1)
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Peek = %q", got)
+	}
+	b.Advance(5)
+	if b.Used() != 0 {
+		t.Errorf("Used after Advance = %d", b.Used())
+	}
+}
+
+func TestWriteRejectsWhenFull(t *testing.T) {
+	b := New(16)
+	if !b.Write(make([]byte, 16)) {
+		t.Fatal("exact-fit write failed")
+	}
+	if b.Write([]byte{1}) {
+		t.Fatal("overfull write succeeded")
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", b.Dropped())
+	}
+	// All-or-nothing: a 10-byte write into 4 free bytes must not
+	// partially land.
+	b.Advance(12)
+	if b.Free() != 12 {
+		t.Fatalf("Free = %d", b.Free())
+	}
+	if b.Write(make([]byte, 13)) {
+		t.Fatal("write larger than free space succeeded")
+	}
+	if b.Dropped() != 14 {
+		t.Errorf("Dropped = %d, want 14", b.Dropped())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	b := New(8)
+	b.Write([]byte{1, 2, 3, 4, 5, 6})
+	b.Advance(6)
+	// Next write wraps the ring edge.
+	payload := []byte{7, 8, 9, 10}
+	if !b.Write(payload) {
+		t.Fatal("wrapping write failed")
+	}
+	if got := b.Peek(-1); !bytes.Equal(got, payload) {
+		t.Errorf("Peek after wrap = %v, want %v", got, payload)
+	}
+}
+
+func TestHeadTailMonotone(t *testing.T) {
+	b := New(8)
+	var lastHead, lastTail uint64
+	for i := 0; i < 100; i++ {
+		b.Write([]byte{byte(i), byte(i + 1)})
+		b.Advance(2)
+		if b.Head() < lastHead || b.Tail() < lastTail {
+			t.Fatal("head/tail went backwards")
+		}
+		lastHead, lastTail = b.Head(), b.Tail()
+	}
+	if lastHead != 200 {
+		t.Errorf("head = %d, want 200 (absolute offsets never wrap)", lastHead)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	b := New(16)
+	b.Write([]byte("abcdefgh"))
+	got := b.ReadAt(2, 3)
+	if !bytes.Equal(got, []byte("cde")) {
+		t.Errorf("ReadAt(2,3) = %q", got)
+	}
+	// Spanning the wrap boundary.
+	b.Advance(8)
+	b.Write([]byte("ijklmnopqrst")) // head now 20, occupies 8..19
+	got = b.ReadAt(14, 4)
+	if !bytes.Equal(got, []byte("opqr")) {
+		t.Errorf("ReadAt(14,4) = %q", got)
+	}
+}
+
+func TestReadAtPanicsOutsideLiveSpan(t *testing.T) {
+	b := New(16)
+	b.Write([]byte("abcd"))
+	b.Advance(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("ReadAt before tail did not panic")
+		}
+	}()
+	b.ReadAt(0, 2)
+}
+
+func TestAdvancePanicsPastHead(t *testing.T) {
+	b := New(16)
+	b.Write([]byte("ab"))
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance past head did not panic")
+		}
+	}()
+	b.Advance(3)
+}
+
+func TestPeekLimit(t *testing.T) {
+	b := New(32)
+	b.Write([]byte("0123456789"))
+	if got := b.Peek(4); !bytes.Equal(got, []byte("0123")) {
+		t.Errorf("Peek(4) = %q", got)
+	}
+	if got := b.Peek(100); len(got) != 10 {
+		t.Errorf("Peek(100) returned %d bytes, want 10", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(16)
+	b.Write(make([]byte, 16))
+	b.Write([]byte{1}) // dropped
+	b.Reset()
+	if b.Used() != 0 || b.Head() != 0 || b.Tail() != 0 || b.Dropped() != 0 {
+		t.Errorf("after Reset: used=%d head=%d tail=%d dropped=%d",
+			b.Used(), b.Head(), b.Tail(), b.Dropped())
+	}
+}
+
+// Property: data written is read back in FIFO order across arbitrary
+// interleavings of writes and consumes.
+func TestFIFOProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		b := New(256)
+		var expect, got []byte
+		for _, c := range chunks {
+			if len(c) > 64 {
+				c = c[:64]
+			}
+			if b.Free() < len(c) {
+				// Drain to make room.
+				got = append(got, b.Peek(-1)...)
+				b.Advance(b.Used())
+			}
+			if !b.Write(c) {
+				return false
+			}
+			expect = append(expect, c...)
+		}
+		got = append(got, b.Peek(-1)...)
+		return bytes.Equal(expect, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Used+Free == Size always.
+func TestAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := New(128)
+		for _, o := range ops {
+			n := int(o % 32)
+			if o%2 == 0 {
+				b.Write(make([]byte, n))
+			} else {
+				if n > b.Used() {
+					n = b.Used()
+				}
+				b.Advance(n)
+			}
+			if b.Used()+b.Free() != b.Size() || b.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqSeconds(t *testing.T) {
+	f := Freq{Hz: 3_000_000_000}
+	if got := f.Seconds(3_000_000_000); got != 1.0 {
+		t.Errorf("Seconds(3e9) = %v, want 1.0", got)
+	}
+	if got := f.CyclesOf(2.0); got != 6_000_000_000 {
+		t.Errorf("CyclesOf(2.0) = %v, want 6e9", got)
+	}
+}
+
+func TestFreqString(t *testing.T) {
+	cases := []struct {
+		hz   uint64
+		want string
+	}{
+		{3_000_000_000, "3.0 GHz"},
+		{1_500_000, "1.5 MHz"},
+		{2_000, "2.0 kHz"},
+		{500, "500 Hz"},
+	}
+	for _, c := range cases {
+		if got := (Freq{Hz: c.hz}).String(); got != c.want {
+			t.Errorf("Freq{%d}.String() = %q, want %q", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestTimescaleIdentityShift(t *testing.T) {
+	ts := Timescale{TimeZero: 100, TimeShift: 0, TimeMult: 1}
+	if got := ts.ToNanos(42); got != 142 {
+		t.Errorf("ToNanos(42) = %d, want 142", got)
+	}
+}
+
+func TestTimescaleForRoundTrip(t *testing.T) {
+	// 3 GHz, timer tick every 3 cycles => 1 ns per tick.
+	ts := TimescaleFor(Freq{Hz: 3_000_000_000}, 3, 0)
+	for _, raw := range []uint64{0, 1, 1000, 1 << 20, 1 << 34} {
+		got := ts.ToNanos(raw)
+		want := float64(raw) // 1 ns per tick
+		if math.Abs(float64(got)-want) > want*0.001+1 {
+			t.Errorf("ToNanos(%d) = %d, want ~%v", raw, got, want)
+		}
+	}
+}
+
+func TestTimescaleForScaledClock(t *testing.T) {
+	// 1 MHz sim clock, tick per cycle => 1000 ns per tick.
+	ts := TimescaleFor(Freq{Hz: 1_000_000}, 1, 5)
+	got := ts.ToNanos(1000)
+	want := uint64(5 + 1000*1000)
+	if diff := int64(got) - int64(want); diff < -1100 || diff > 1100 {
+		t.Errorf("ToNanos(1000) = %d, want ~%d", got, want)
+	}
+}
+
+func TestTimescaleMonotoneProperty(t *testing.T) {
+	ts := TimescaleFor(Freq{Hz: 3_000_000_000}, 8, 1234)
+	f := func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return ts.ToNanos(x) <= ts.ToNanos(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimescaleZeroDivGuard(t *testing.T) {
+	ts := TimescaleFor(Freq{Hz: 1_000_000_000}, 0, 0) // timerDiv 0 -> 1
+	if ts.TimeMult == 0 {
+		t.Error("TimeMult must never be zero")
+	}
+}

@@ -1,0 +1,376 @@
+package spe
+
+import (
+	"testing"
+
+	"nmo/internal/isa"
+	"nmo/internal/sim"
+	"nmo/internal/spepkt"
+	"nmo/internal/xrand"
+)
+
+// memSink collects records and can simulate a full buffer.
+type memSink struct {
+	records []spepkt.Record
+	raw     [][]byte
+	full    bool
+}
+
+func (s *memSink) WriteRecord(_ sim.Cycles, rec []byte) bool {
+	if s.full {
+		return false
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	s.raw = append(s.raw, cp)
+	var r spepkt.Record
+	if err := spepkt.Decode(cp, &r); err == nil {
+		s.records = append(s.records, r)
+	}
+	return true
+}
+
+func loadOp(addr uint64) isa.Op {
+	return isa.Op{Kind: isa.KindLoad, Addr: addr, PC: 0x400000, Size: 8}
+}
+
+func newUnit(cfg Config, sink Sink) *Unit {
+	if cfg.Period == 0 {
+		cfg.Period = 10
+	}
+	cfg.SampleLoads = true
+	cfg.SampleStores = true
+	return NewUnit(cfg, xrand.New(1), sink)
+}
+
+func TestDisabledUnitIgnoresOps(t *testing.T) {
+	sink := &memSink{}
+	u := newUnit(Config{}, sink)
+	op := loadOp(0x1000)
+	for i := 0; i < 100; i++ {
+		u.OnOp(sim.Cycles(i), &op, 4, 0, false, false)
+	}
+	if st := u.Stats(); st.OpsSeen != 0 || len(sink.records) != 0 {
+		t.Errorf("disabled unit was active: %+v", st)
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	sink := &memSink{}
+	u := newUnit(Config{Period: 100}, sink)
+	u.Enable()
+	op := loadOp(0x1000)
+	const n = 100000
+	now := sim.Cycles(0)
+	for i := 0; i < n; i++ {
+		u.OnOp(now, &op, 4, 0, false, false)
+		now += 4
+	}
+	st := u.Stats()
+	want := uint64(n / 100)
+	if st.Selected < want*9/10 || st.Selected > want*11/10 {
+		t.Errorf("Selected = %d, want ~%d", st.Selected, want)
+	}
+	if st.Collisions != 0 {
+		t.Errorf("collisions = %d with latency << period spacing", st.Collisions)
+	}
+	if uint64(len(sink.records)) != st.Emitted {
+		t.Errorf("sink has %d records, stats say %d", len(sink.records), st.Emitted)
+	}
+}
+
+func TestJitterChangesSelection(t *testing.T) {
+	run := func(jitter uint) uint64 {
+		sink := &memSink{}
+		cfg := Config{Period: 97, JitterBits: jitter}
+		cfg.SampleLoads = true
+		u := NewUnit(cfg, xrand.New(42), sink)
+		u.Enable()
+		op := loadOp(0x1000)
+		for i := 0; i < 50000; i++ {
+			u.OnOp(sim.Cycles(i*4), &op, 4, 0, false, false)
+		}
+		return u.Stats().Selected
+	}
+	a, b := run(0), run(6)
+	if a == 0 || b == 0 {
+		t.Fatal("no samples selected")
+	}
+	// Rates should be within 5% of each other: dither is zero-mean.
+	ratio := float64(a) / float64(b)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("jitter biased the rate: %d vs %d", a, b)
+	}
+}
+
+func TestCollisionWhenTrackingBusy(t *testing.T) {
+	sink := &memSink{}
+	u := newUnit(Config{Period: 10}, sink)
+	u.Enable()
+	op := loadOp(0x2000)
+	// Latency 1000 cycles but ops only 1 cycle apart: every selection
+	// after the first, within the tracking window, collides.
+	now := sim.Cycles(0)
+	for i := 0; i < 100; i++ {
+		u.OnOp(now, &op, 1000, 3, false, false)
+		now++
+	}
+	st := u.Stats()
+	if st.Selected < 5 {
+		t.Fatalf("too few selections: %+v", st)
+	}
+	if st.Collisions == 0 {
+		t.Error("expected collisions with latency >> period")
+	}
+	if st.Emitted != 1 {
+		t.Errorf("Emitted = %d, want 1 (only the first tracked sample)", st.Emitted)
+	}
+}
+
+func TestNoCollisionAfterTrackingCompletes(t *testing.T) {
+	sink := &memSink{}
+	u := newUnit(Config{Period: 10}, sink)
+	u.Enable()
+	op := loadOp(0x2000)
+	// Ops spaced 100 cycles apart, latency 50: tracking always done
+	// before the next selection.
+	now := sim.Cycles(0)
+	for i := 0; i < 1000; i++ {
+		u.OnOp(now, &op, 50, 1, false, false)
+		now += 100
+	}
+	if st := u.Stats(); st.Collisions != 0 {
+		t.Errorf("Collisions = %d, want 0", st.Collisions)
+	}
+}
+
+func TestDualSlotAblation(t *testing.T) {
+	count := func(slots int) uint64 {
+		sink := &memSink{}
+		cfg := Config{Period: 10, TrackingSlots: slots}
+		cfg.SampleLoads = true
+		u := NewUnit(cfg, xrand.New(7), sink)
+		u.Enable()
+		op := loadOp(0x2000)
+		now := sim.Cycles(0)
+		for i := 0; i < 10000; i++ {
+			u.OnOp(now, &op, 300, 3, false, false)
+			now += 2
+		}
+		return u.Stats().Collisions
+	}
+	one, two := count(1), count(2)
+	if two >= one {
+		t.Errorf("2 slots should collide less: 1-slot=%d 2-slot=%d", one, two)
+	}
+}
+
+func TestFilterByClass(t *testing.T) {
+	sink := &memSink{}
+	cfg := Config{Period: 1, SampleLoads: true} // stores & branches off
+	u := NewUnit(cfg, xrand.New(1), sink)
+	u.Enable()
+	ops := []isa.Op{
+		{Kind: isa.KindLoad, Addr: 0x10, PC: 1},
+		{Kind: isa.KindStore, Addr: 0x20, PC: 2},
+		{Kind: isa.KindBranch, Addr: 0x30, PC: 3},
+		{Kind: isa.KindALU, PC: 4},
+	}
+	now := sim.Cycles(0)
+	for i := 0; i < 100; i++ {
+		for j := range ops {
+			u.OnOp(now, &ops[j], 2, 0, false, false)
+			now += 10
+		}
+	}
+	for _, r := range sink.records {
+		if r.Op != spepkt.OpLoad || r.VA != 0x10 {
+			t.Fatalf("non-load leaked through filter: %+v", r)
+		}
+	}
+	st := u.Stats()
+	if st.Filtered == 0 {
+		t.Error("filter dropped nothing")
+	}
+	if st.Emitted == 0 {
+		t.Error("no loads emitted")
+	}
+}
+
+func TestMinLatencyFilter(t *testing.T) {
+	sink := &memSink{}
+	cfg := Config{Period: 1, SampleLoads: true, MinLatency: 100}
+	u := NewUnit(cfg, xrand.New(1), sink)
+	u.Enable()
+	fast := loadOp(0x100)
+	slow := loadOp(0x200)
+	now := sim.Cycles(0)
+	for i := 0; i < 50; i++ {
+		u.OnOp(now, &fast, 4, 0, false, false)
+		now += 1000
+		u.OnOp(now, &slow, 250, 3, false, false)
+		now += 1000
+	}
+	for _, r := range sink.records {
+		if r.VA != 0x200 {
+			t.Fatalf("fast access leaked through latency filter: %+v", r)
+		}
+	}
+	if len(sink.records) == 0 {
+		t.Fatal("slow accesses not recorded")
+	}
+}
+
+func TestRecordContents(t *testing.T) {
+	sink := &memSink{}
+	cfg := Config{Period: 1, SampleLoads: true, SampleStores: true, TimerDiv: 4}
+	u := NewUnit(cfg, xrand.New(1), sink)
+	u.Enable()
+	op := isa.Op{Kind: isa.KindStore, Addr: 0xABCD, PC: 0x400100, Size: 8}
+	u.OnOp(1000, &op, 200, 3, true, false)
+	if len(sink.records) != 1 {
+		t.Fatalf("records = %d, want 1", len(sink.records))
+	}
+	r := sink.records[0]
+	if r.VA != 0xABCD || r.PC != 0x400100 {
+		t.Errorf("VA/PC = %#x/%#x", r.VA, r.PC)
+	}
+	if !r.IsStore() {
+		t.Error("store recorded as load")
+	}
+	if r.Source != spepkt.SourceDRAM {
+		t.Errorf("source = %#x, want DRAM", r.Source)
+	}
+	if r.TotalLat != 200 {
+		t.Errorf("TotalLat = %d, want 200", r.TotalLat)
+	}
+	if r.Events&spepkt.EvTLBWalk == 0 || r.XlatLat == 0 {
+		t.Error("TLB walk not reflected in events/xlat latency")
+	}
+	// Completion at cycle 1200, timer div 4 => raw TS 300.
+	if r.TS != 300 {
+		t.Errorf("TS = %d, want 300", r.TS)
+	}
+}
+
+func TestCollectPA(t *testing.T) {
+	sink := &memSink{}
+	cfg := Config{Period: 1, SampleLoads: true, CollectPA: true}
+	u := NewUnit(cfg, xrand.New(1), sink)
+	u.Enable()
+	op := loadOp(0x1234)
+	u.OnOp(10, &op, 4, 0, false, false)
+	if len(sink.records) != 1 || sink.records[0].PA == 0 {
+		t.Fatalf("PA not collected: %+v", sink.records)
+	}
+	// PA disabled => zero.
+	sink2 := &memSink{}
+	u2 := newUnit(Config{Period: 1}, sink2)
+	u2.Enable()
+	u2.OnOp(10, &op, 4, 0, false, false)
+	if len(sink2.records) != 1 || sink2.records[0].PA != 0 {
+		t.Fatalf("PA leaked with pa_enable off: %+v", sink2.records)
+	}
+}
+
+func TestTruncationCountsWhenSinkFull(t *testing.T) {
+	sink := &memSink{full: true}
+	u := newUnit(Config{Period: 1}, sink)
+	u.Enable()
+	op := loadOp(0x99)
+	now := sim.Cycles(0)
+	for i := 0; i < 10; i++ {
+		u.OnOp(now, &op, 4, 0, false, false)
+		now += 1000
+	}
+	st := u.Stats()
+	if st.Truncated != 10 || st.Emitted != 0 {
+		t.Errorf("Truncated/Emitted = %d/%d, want 10/0", st.Truncated, st.Emitted)
+	}
+}
+
+func TestCorruptOnCollision(t *testing.T) {
+	sink := &memSink{}
+	cfg := Config{Period: 2, SampleLoads: true, CorruptOnCollision: 2}
+	u := NewUnit(cfg, xrand.New(3), sink)
+	u.Enable()
+	op := loadOp(0x77)
+	now := sim.Cycles(0)
+	for i := 0; i < 10000; i++ {
+		u.OnOp(now, &op, 5000, 3, false, false)
+		now++
+	}
+	st := u.Stats()
+	if st.Collisions == 0 {
+		t.Fatal("test setup produced no collisions")
+	}
+	if st.Corrupted == 0 {
+		t.Error("no corrupted records emitted")
+	}
+	// Corrupted records must be skipped by the decoder.
+	skipped := 0
+	for _, raw := range sink.raw {
+		var r spepkt.Record
+		if err := spepkt.Decode(raw, &r); err != nil {
+			skipped++
+		}
+	}
+	if skipped != int(st.Corrupted) {
+		t.Errorf("decoder skipped %d, unit emitted %d corrupted", skipped, st.Corrupted)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	sink := &memSink{}
+	u := newUnit(Config{Period: 5}, sink)
+	op := loadOp(0x1)
+	u.Enable()
+	if !u.Enabled() {
+		t.Fatal("Enabled() = false after Enable")
+	}
+	for i := 0; i < 100; i++ {
+		u.OnOp(sim.Cycles(i*10), &op, 4, 0, false, false)
+	}
+	u.Disable()
+	before := u.Stats().OpsSeen
+	for i := 0; i < 100; i++ {
+		u.OnOp(sim.Cycles(1000+i*10), &op, 4, 0, false, false)
+	}
+	if u.Stats().OpsSeen != before {
+		t.Error("ops counted while disabled")
+	}
+	u.ResetStats()
+	if u.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestEstimatorUnbiased(t *testing.T) {
+	// samples*period should estimate the op count within a few
+	// percent when there are no collisions (Eq. 1's premise).
+	sink := &memSink{}
+	cfg := Config{Period: 1000, JitterBits: 8, SampleLoads: true, SampleStores: true}
+	u := NewUnit(cfg, xrand.New(11), sink)
+	u.Enable()
+	op := loadOp(0x1000)
+	const n = 2_000_000
+	now := sim.Cycles(0)
+	for i := 0; i < n; i++ {
+		u.OnOp(now, &op, 4, 0, false, false)
+		now += 8
+	}
+	st := u.Stats()
+	est := st.Emitted * cfg.Period
+	err := float64(int64(est)-int64(n)) / float64(n)
+	if err < -0.05 || err > 0.05 {
+		t.Errorf("estimator error %.3f (est %d vs true %d)", err, est, n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	u := NewUnit(Config{}, xrand.New(1), &memSink{})
+	cfg := u.Config()
+	if cfg.Period == 0 || cfg.TrackingSlots != 1 || cfg.TimerDiv == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}

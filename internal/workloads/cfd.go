@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nmo/internal/isa"
+	"nmo/internal/xrand"
+)
+
+// CFDConfig configures the Rodinia-CFD-like solver.
+type CFDConfig struct {
+	// Elems is the number of mesh elements.
+	Elems int
+	// Threads partitions the element range into contiguous chunks.
+	Threads int
+	// Iters is the number of solver iterations ("computation loop"
+	// executions; the paper uses 20).
+	Iters int
+	// Seed drives mesh connectivity generation.
+	Seed uint64
+}
+
+// CFD models Rodinia's unstructured-grid finite volume solver for the
+// 3D Euler equations. The flux kernel gathers the flow variables of
+// four neighbouring elements through an irregular connectivity table,
+// streams the face normals, and stores the computed fluxes — giving
+// the mixed regular/irregular access pattern visible in Figs. 5–6
+// (normals split cleanly across threads; the variables gathers are
+// irregular).
+type CFD struct {
+	cfg       CFDConfig
+	neighbors []uint32 // 4 per element
+}
+
+// Per-element strides (bytes). Five doubles of flow variables and
+// fluxes; four 3-vectors of face normals; four neighbor indices.
+const (
+	cfdVarStride    = 40
+	cfdFluxStride   = 40
+	cfdNormalStride = 96
+	cfdNbrStride    = 16
+)
+
+// NewCFD constructs the workload, generating mesh connectivity: three
+// short-range neighbours (spatial locality of a mesh partition) and
+// one long-range neighbour (the irregular far edges a real
+// unstructured mesh contains).
+func NewCFD(cfg CFDConfig) *CFD {
+	if cfg.Elems <= 0 || cfg.Threads <= 0 || cfg.Iters <= 0 {
+		panic(fmt.Sprintf("workloads: bad CFD config %+v", cfg))
+	}
+	if cfg.Threads > cfg.Elems {
+		cfg.Threads = cfg.Elems
+	}
+	rng := xrand.New(cfg.Seed ^ 0xCFD)
+	nb := make([]uint32, 4*cfg.Elems)
+	for i := 0; i < cfg.Elems; i++ {
+		for k := 0; k < 3; k++ {
+			d := rng.Intn(32) - 16
+			j := i + d
+			if j < 0 {
+				j += cfg.Elems
+			}
+			if j >= cfg.Elems {
+				j -= cfg.Elems
+			}
+			nb[4*i+k] = uint32(j)
+		}
+		nb[4*i+3] = uint32(rng.Intn(cfg.Elems))
+	}
+	return &CFD{cfg: cfg, neighbors: nb}
+}
+
+// Name implements Workload.
+func (c *CFD) Name() string { return "cfd" }
+
+// Threads implements Workload.
+func (c *CFD) Threads() int { return c.cfg.Threads }
+
+// Labels implements Workload. Label 0 tags the computation loop, the
+// region the paper profiles in Figs. 5–6.
+func (c *CFD) Labels() []string { return []string{"computation loop"} }
+
+// Regions implements Workload.
+func (c *CFD) Regions() []Region {
+	n := uint64(c.cfg.Elems)
+	return []Region{
+		{Name: "variables", Lo: baseVariables, Hi: baseVariables + n*cfdVarStride},
+		{Name: "fluxes", Lo: baseFluxes, Hi: baseFluxes + n*cfdFluxStride},
+		{Name: "normals", Lo: baseNormals, Hi: baseNormals + n*cfdNormalStride},
+		{Name: "elements_surrounding", Lo: baseNeighbors, Hi: baseNeighbors + n*cfdNbrStride},
+	}
+}
+
+// FootprintBytes returns the mesh data footprint.
+func (c *CFD) FootprintBytes() uint64 {
+	return uint64(c.cfg.Elems) * (cfdVarStride + cfdFluxStride + cfdNormalStride + cfdNbrStride)
+}
+
+// Streams implements Workload.
+func (c *CFD) Streams() []isa.Stream {
+	out := make([]isa.Stream, c.cfg.Threads)
+	per := c.cfg.Elems / c.cfg.Threads
+	for t := 0; t < c.cfg.Threads; t++ {
+		lo := t * per
+		hi := lo + per
+		if t == c.cfg.Threads-1 {
+			hi = c.cfg.Elems
+		}
+		out[t] = &cfdGen{w: c, tid: t, lo: lo, hi: hi, idx: lo}
+	}
+	return out
+}
+
+type cfdGen struct {
+	w        *CFD
+	tid      int
+	lo, hi   int
+	iter     int
+	idx      int
+	preamble bool
+}
+
+// Ops per element: 1 neighbor-index load, 4 gather loads, 1 own-
+// variables load, 2 normals loads, 4 SIMD, 1 flux store, 1 branch.
+const cfdOpsPerElem = 14
+
+// Fill implements isa.Stream.
+func (g *cfdGen) Fill(dst []isa.Op) int {
+	n := 0
+	for g.iter < g.w.cfg.Iters {
+		if !g.preamble {
+			if g.tid == 0 {
+				need := 1
+				if g.iter == 0 {
+					need = 2
+				}
+				if len(dst)-n < need {
+					return n
+				}
+				if g.iter == 0 {
+					dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerAlloc,
+						Addr: g.w.FootprintBytes()}
+					n++
+				}
+				dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerStart, Label: 0}
+				n++
+			}
+			g.preamble = true
+		}
+		for g.idx < g.hi {
+			if len(dst)-n < cfdOpsPerElem {
+				return n
+			}
+			i := uint64(g.idx)
+			nb := g.w.neighbors[4*g.idx : 4*g.idx+4]
+			dst[n] = isa.Op{Kind: isa.KindLoad, Addr: baseNeighbors + i*cfdNbrStride,
+				Size: 16, PC: pcCFDCompute}
+			n++
+			for k := 0; k < 4; k++ {
+				dst[n] = isa.Op{Kind: isa.KindLoad,
+					Addr: baseVariables + uint64(nb[k])*cfdVarStride,
+					Size: 40, PC: pcCFDCompute + 4 + uint64(k)*4}
+				n++
+			}
+			dst[n] = isa.Op{Kind: isa.KindLoad, Addr: baseVariables + i*cfdVarStride,
+				Size: 40, PC: pcCFDCompute + 20}
+			n++
+			dst[n] = isa.Op{Kind: isa.KindLoad, Addr: baseNormals + i*cfdNormalStride,
+				Size: 48, PC: pcCFDCompute + 24}
+			n++
+			dst[n] = isa.Op{Kind: isa.KindLoad, Addr: baseNormals + i*cfdNormalStride + 48,
+				Size: 48, PC: pcCFDCompute + 28}
+			n++
+			for k := 0; k < 4; k++ {
+				dst[n] = isa.Op{Kind: isa.KindSIMD, PC: pcCFDCompute + 32 + uint64(k)*4}
+				n++
+			}
+			dst[n] = isa.Op{Kind: isa.KindStore, Addr: baseFluxes + i*cfdFluxStride,
+				Size: 40, PC: pcCFDCompute + 48}
+			n++
+			dst[n] = isa.Op{Kind: isa.KindBranch, PC: pcCFDCompute + 52}
+			n++
+			g.idx++
+		}
+		if g.tid == 0 {
+			if len(dst)-n < 1 {
+				return n
+			}
+			dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerStop, Label: 0}
+			n++
+		}
+		g.iter++
+		g.idx = g.lo
+		g.preamble = false
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"fmt"
+
+	"nmo/internal/isa"
+)
+
+// StreamConfig configures the STREAM benchmark.
+type StreamConfig struct {
+	// Elems is the number of float64 elements per array (a, b, c).
+	Elems int
+	// Threads partitions each array into contiguous chunks.
+	Threads int
+	// Iters is the number of Triad iterations.
+	Iters int
+}
+
+// Stream is the STREAM benchmark: the Triad kernel
+// a[i] = b[i] + SCALAR*c[i], the kernel the paper reports (§V). Each
+// thread sweeps a contiguous chunk of the arrays — the source of the
+// "regular incremental small line segments" in Fig. 4.
+type Stream struct {
+	cfg StreamConfig
+}
+
+// NewStream constructs the workload. It panics on nonsensical
+// configuration (static experiment definitions, not user input).
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Elems <= 0 || cfg.Threads <= 0 || cfg.Iters <= 0 {
+		panic(fmt.Sprintf("workloads: bad STREAM config %+v", cfg))
+	}
+	if cfg.Threads > cfg.Elems {
+		cfg.Threads = cfg.Elems
+	}
+	return &Stream{cfg: cfg}
+}
+
+// Name implements Workload.
+func (s *Stream) Name() string { return "stream" }
+
+// Threads implements Workload.
+func (s *Stream) Threads() int { return s.cfg.Threads }
+
+// Labels implements Workload. Label 0 tags the Triad kernel.
+func (s *Stream) Labels() []string { return []string{"triad"} }
+
+// Regions implements Workload: the a, b, c arrays, exactly the tags of
+// the paper's Listing 1 / Fig. 4.
+func (s *Stream) Regions() []Region {
+	bytes := uint64(s.cfg.Elems) * 8
+	return []Region{
+		{Name: "a", Lo: baseA, Hi: baseA + bytes},
+		{Name: "b", Lo: baseB, Hi: baseB + bytes},
+		{Name: "c", Lo: baseC, Hi: baseC + bytes},
+	}
+}
+
+// FootprintBytes returns the workload's total array footprint.
+func (s *Stream) FootprintBytes() uint64 { return uint64(s.cfg.Elems) * 8 * 3 }
+
+// Streams implements Workload.
+func (s *Stream) Streams() []isa.Stream {
+	out := make([]isa.Stream, s.cfg.Threads)
+	per := s.cfg.Elems / s.cfg.Threads
+	for t := 0; t < s.cfg.Threads; t++ {
+		lo := t * per
+		hi := lo + per
+		if t == s.cfg.Threads-1 {
+			hi = s.cfg.Elems
+		}
+		out[t] = &streamGen{w: s, tid: t, lo: lo, hi: hi, idx: lo}
+	}
+	return out
+}
+
+// streamGen emits one thread's Triad ops lazily.
+type streamGen struct {
+	w        *Stream
+	tid      int
+	lo, hi   int
+	iter     int
+	idx      int
+	preamble bool // alloc/start markers emitted for current iteration
+}
+
+// opsPerElem: load b, load c, SIMD fma, store a, branch (loop back).
+const streamOpsPerElem = 5
+
+// Fill implements isa.Stream.
+func (g *streamGen) Fill(dst []isa.Op) int {
+	n := 0
+	for g.iter < g.w.cfg.Iters {
+		if !g.preamble {
+			// Thread 0 carries the annotations: the allocation report
+			// once, and the "triad" start marker per iteration.
+			if g.tid == 0 {
+				need := 1
+				if g.iter == 0 {
+					need = 2
+				}
+				if len(dst)-n < need {
+					return n
+				}
+				if g.iter == 0 {
+					dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerAlloc,
+						Addr: g.w.FootprintBytes()}
+					n++
+				}
+				dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerStart, Label: 0}
+				n++
+			}
+			g.preamble = true
+		}
+		for g.idx < g.hi {
+			if len(dst)-n < streamOpsPerElem {
+				return n
+			}
+			off := uint64(g.idx) * 8
+			dst[n+0] = isa.Op{Kind: isa.KindLoad, Addr: baseB + off, Size: 8, PC: pcStreamTriad}
+			dst[n+1] = isa.Op{Kind: isa.KindLoad, Addr: baseC + off, Size: 8, PC: pcStreamTriad + 4}
+			dst[n+2] = isa.Op{Kind: isa.KindSIMD, PC: pcStreamTriad + 8}
+			dst[n+3] = isa.Op{Kind: isa.KindStore, Addr: baseA + off, Size: 8, PC: pcStreamTriad + 12}
+			dst[n+4] = isa.Op{Kind: isa.KindBranch, PC: pcStreamTriad + 16}
+			n += streamOpsPerElem
+			g.idx++
+		}
+		// End of this thread's chunk for this iteration.
+		if g.tid == 0 {
+			if len(dst)-n < 1 {
+				return n
+			}
+			dst[n] = isa.Op{Kind: isa.KindMarker, Marker: isa.MarkerStop, Label: 0}
+			n++
+		}
+		g.iter++
+		g.idx = g.lo
+		g.preamble = false
+	}
+	return n
+}

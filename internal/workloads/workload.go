@@ -1,0 +1,80 @@
+// Package workloads implements operation-stream generators for the
+// five applications of the paper's evaluation (§V):
+//
+//   - STREAM (Triad kernel), C+OpenMP — synthetic bandwidth benchmark;
+//   - CFD, Rodinia — unstructured-grid finite volume Euler solver;
+//   - BFS, Rodinia — breadth-first search over a random graph;
+//   - Page Rank, CloudSuite Graph Analytics — phase-level synthetic
+//     equivalent (load-then-iterate);
+//   - In-memory Analytics (ALS), CloudSuite — phase-level synthetic
+//     equivalent (periodic sweeps).
+//
+// The first three are cycle-level workloads: every load/store of the
+// kernel is emitted with its real address pattern, which is what the
+// SPE sensitivity experiments (Figs. 7–11) sample. The CloudSuite pair
+// are phase-level workloads built on the shared phase engine
+// (phases.go): they model bandwidth and capacity *timelines* with
+// block transfers, which is all Figs. 2–3 need (DESIGN.md §2).
+//
+// All generators are deterministic functions of their configuration
+// and seed.
+package workloads
+
+import "nmo/internal/isa"
+
+// Region is a tagged address range, the equivalent of
+// nmo_tag_addr("name", start, end) in the paper's annotation API.
+type Region struct {
+	Name string
+	Lo   uint64 // inclusive
+	Hi   uint64 // exclusive
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Lo && addr < r.Hi }
+
+// Workload produces one operation stream per thread plus the metadata
+// NMO needs for region-based profiling.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Threads is the number of streams the workload runs.
+	Threads() int
+	// Streams returns fresh per-thread op streams. Each call restarts
+	// the workload from the beginning (used for baseline vs profiled
+	// runs over identical instruction streams).
+	Streams() []isa.Stream
+	// Regions returns the tagged memory regions.
+	Regions() []Region
+	// Labels returns the marker label table: Labels()[op.Label] is
+	// the kernel name carried by start/stop markers.
+	Labels() []string
+}
+
+// Base addresses used by the cycle-level workloads. Keeping data
+// structures in well-separated virtual ranges makes the Fig. 4–6
+// scatter plots legible and region attribution unambiguous.
+const (
+	baseA         = 0x0000_1000_0000_0000
+	baseB         = 0x0000_2000_0000_0000
+	baseC         = 0x0000_3000_0000_0000
+	baseVariables = 0x0000_4000_0000_0000
+	baseFluxes    = 0x0000_5000_0000_0000
+	baseNormals   = 0x0000_6000_0000_0000
+	baseNeighbors = 0x0000_7000_0000_0000
+	baseOffsets   = 0x0000_8000_0000_0000
+	baseEdges     = 0x0000_9000_0000_0000
+	baseVisited   = 0x0000_a000_0000_0000
+	baseFrontier  = 0x0000_b000_0000_0000
+	baseHeap      = 0x0000_c000_0000_0000
+)
+
+// Synthetic code-site PCs, one per kernel loop, so samples attribute
+// to stable "instructions".
+const (
+	pcStreamTriad = 0x0040_1000
+	pcCFDCompute  = 0x0040_2000
+	pcBFSExpand   = 0x0040_3000
+	pcCloudIngest = 0x0040_4000
+	pcCloudComp   = 0x0040_5000
+)

@@ -1,0 +1,99 @@
+package nmo_test
+
+import (
+	"testing"
+
+	"nmo"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(8))
+	cfg := nmo.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = nmo.ModeFull
+	cfg.TrackRSS = true
+	cfg.Period = 2048
+	cfg.IntervalSec = 1e-4
+
+	prof, err := nmo.Run(cfg, mach, nmo.NewStream(nmo.StreamConfig{
+		Elems: 100_000, Threads: 8, Iters: 3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Wall == 0 || prof.MemAccesses == 0 {
+		t.Fatalf("empty profile: %+v", prof)
+	}
+	if len(prof.Trace.Samples) == 0 {
+		t.Fatal("no samples through the public API")
+	}
+	acc := nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, cfg.Period)
+	if acc < 0.3 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestPublicEnvConfig(t *testing.T) {
+	cfg, err := nmo.FromEnvFunc(func(k string) string {
+		switch k {
+		case "NMO_ENABLE":
+			return "1"
+		case "NMO_MODE":
+			return "sample"
+		case "NMO_PERIOD":
+			return "4096"
+		}
+		return ""
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Enable || cfg.Mode != nmo.ModeSample || cfg.Period != 4096 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestPublicCloudWorkloads(t *testing.T) {
+	spec := nmo.AmpereAltraMax().WithCores(32).WithFreq(100_000)
+	spec.DRAM.PeakBytesPerCycle = 200e9 / 100_000
+	spec.DRAM.TailProb = -1
+	spec.Quantum = 32
+	w := nmo.NewPageRank(spec, 1)
+	if w.Threads() != 32 || w.Name() != "pagerank" {
+		t.Errorf("pagerank: threads=%d name=%q", w.Threads(), w.Name())
+	}
+	w2 := nmo.NewInMemAnalytics(spec, 1)
+	if w2.Name() != "inmem-analytics" {
+		t.Errorf("inmem name = %q", w2.Name())
+	}
+}
+
+func TestPublicSessionReuse(t *testing.T) {
+	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(4))
+	cfg := nmo.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = nmo.ModeSample
+	cfg.Period = 1024
+	s, err := nmo.NewSession(cfg, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nmo.NewCFD(nmo.CFDConfig{Elems: 20_000, Threads: 4, Iters: 1, Seed: 3})
+	p1, err := s.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.MD5 != p2.MD5 {
+		t.Error("session reuse not deterministic")
+	}
+}
+
+func TestPublicOverheadHelper(t *testing.T) {
+	if got := nmo.Overhead(1000, 1100); got < 0.099 || got > 0.101 {
+		t.Errorf("Overhead = %v", got)
+	}
+}
