@@ -12,15 +12,20 @@
 package nmo_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"nmo"
+	"nmo/internal/engine"
 	"nmo/internal/experiments"
 	"nmo/internal/isa"
 	"nmo/internal/machine"
 	"nmo/internal/memsim"
 	"nmo/internal/sim"
 	"nmo/internal/spe"
+	"nmo/internal/workloads"
 	"nmo/internal/xrand"
 )
 
@@ -260,6 +265,78 @@ func BenchmarkAblationTrackingSlots(b *testing.B) {
 		two := run(2)
 		b.ReportMetric(float64(one), "collisions-1slot")
 		b.ReportMetric(float64(two), "collisions-2slot")
+	}
+}
+
+// --- Engine: parallel scenario execution ---
+
+// engineBatch builds a grid of sampling scenarios (the shape of one
+// sweep point column).
+func engineBatch(n int) []engine.Scenario {
+	scs := make([]engine.Scenario, n)
+	for i := range scs {
+		cfg := nmo.DefaultConfig()
+		cfg.Enable = true
+		cfg.Mode = nmo.ModeSample
+		cfg.Period = 2048
+		cfg.PageBytes = 1024
+		cfg.RingPages = 8
+		cfg.AuxPages = 64
+		scs[i] = engine.Scenario{
+			Name:   fmt.Sprintf("stream/trial=%d", i),
+			Spec:   machine.AmpereAltraMax().WithCores(32),
+			Config: cfg,
+			Seed:   engine.DeriveSeed(42, i),
+			Workload: func() (workloads.Workload, error) {
+				return nmo.NewStream(nmo.StreamConfig{
+					Elems: 400_000, Threads: 16, Iters: 2,
+				}), nil
+			},
+		}
+	}
+	return scs
+}
+
+// BenchmarkEngineParallelSpeedup runs the same scenario batch at
+// jobs=1 and jobs=GOMAXPROCS and reports the wall-clock speedup — the
+// engine's reason to exist. On an N-core host the speedup approaches
+// min(N, batch size); on one core it stays ~1 (and must not regress
+// below it by much, i.e. the pool adds no meaningful overhead).
+func BenchmarkEngineParallelSpeedup(b *testing.B) {
+	const batchSize = 8
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := engine.FirstError(engine.Runner{Jobs: 1}.RunAll(engineBatch(batchSize))); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		t0 = time.Now()
+		if err := engine.FirstError(engine.Runner{}.RunAll(engineBatch(batchSize))); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t0)
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	}
+}
+
+// BenchmarkEngineScenarioOverhead measures the per-scenario fixed cost
+// (machine construction + session setup) with a minimal workload: the
+// price the engine pays for share-nothing isolation.
+func BenchmarkEngineScenarioOverhead(b *testing.B) {
+	cfg := nmo.DefaultConfig()
+	spec := machine.AmpereAltraMax().WithCores(2)
+	sc := engine.Scenario{
+		Name: "tiny", Spec: spec, Config: cfg,
+		Workload: func() (workloads.Workload, error) {
+			return nmo.NewStream(nmo.StreamConfig{Elems: 64, Threads: 1, Iters: 1}), nil
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(sc); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,42 +1,55 @@
-// Command nmoprof profiles one of the five paper workloads under the
-// NMO_* environment configuration (Table I), mirroring how the real
-// tool attaches via LD_PRELOAD and is configured by environment:
+// Command nmoprof profiles the paper workloads under the NMO_*
+// environment configuration (Table I), mirroring how the real tool
+// attaches via LD_PRELOAD and is configured by environment:
 //
 //	NMO_ENABLE=1 NMO_MODE=full NMO_PERIOD=4096 NMO_TRACK_RSS=1 \
 //	    nmoprof -workload stream -threads 32
 //
+// -workload accepts a comma-separated list; cycle-level workloads
+// (stream, cfd, bfs) then execute concurrently on the internal/engine
+// worker pool, bounded by -jobs. Cycle-level summaries print in
+// request order, followed by the phase-level (pagerank, inmem)
+// timelines; per-workload profiles stay bit-identical at any -jobs
+// value.
+//
 // It writes <NMO_NAME>.trace.csv, <NMO_NAME>.trace.bin and
 // <NMO_NAME>.{capacity,bandwidth}.csv next to the working directory
-// and prints a summary with the trace MD5.
+// and prints a summary with the trace MD5. With several workloads the
+// file base becomes <NMO_NAME>.<workload>.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nmo"
 	"nmo/internal/analysis"
+	"nmo/internal/engine"
 	"nmo/internal/experiments"
 	"nmo/internal/report"
+	"nmo/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "stream", "stream | cfd | bfs | pagerank | inmem")
+	workload := flag.String("workload", "stream",
+		"comma-separated list of stream | cfd | bfs | pagerank | inmem")
 	threads := flag.Int("threads", 32, "worker threads (cycle-level workloads)")
 	elems := flag.Int("elems", 2_000_000, "elements/nodes for cycle-level workloads")
 	iters := flag.Int("iters", 2, "iterations for stream/cfd")
 	cores := flag.Int("cores", 128, "machine cores")
 	seed := flag.Uint64("seed", 42, "workload/profiler seed")
+	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
@@ -46,40 +59,90 @@ func run(workload string, threads, elems, iters, cores int, seed uint64) error {
 		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
 	}
 
+	names := strings.Split(workload, ",")
+	seen := make(map[string]bool, len(names))
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if seen[names[i]] {
+			// Output files are keyed by workload name; duplicates
+			// would silently overwrite each other.
+			return fmt.Errorf("workload %q requested twice", names[i])
+		}
+		seen[names[i]] = true
+	}
+	multi := len(names) > 1
+
+	// Split the request into cycle-level scenarios (sharded across the
+	// engine pool) and phase-level CloudSuite timelines.
 	spec := nmo.AmpereAltraMax().WithCores(cores)
-	var w nmo.Workload
-	switch workload {
-	case "stream":
-		w = nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters})
-	case "cfd":
-		w = nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed})
-	case "bfs":
-		w = nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: 3, Seed: seed})
-	case "pagerank", "inmem":
-		// Phase-level workloads run on the scaled clock.
+	var scenarios []engine.Scenario
+	var cloud []string
+	for _, name := range names {
+		var factory engine.WorkloadFactory
+		switch name {
+		case "stream":
+			factory = func() (workloads.Workload, error) {
+				return nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters}), nil
+			}
+		case "cfd":
+			factory = func() (workloads.Workload, error) {
+				return nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed}), nil
+			}
+		case "bfs":
+			factory = func() (workloads.Workload, error) {
+				return nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: 3, Seed: seed}), nil
+			}
+		case "pagerank", "inmem":
+			cloud = append(cloud, name)
+			continue
+		default:
+			return fmt.Errorf("unknown workload %q", name)
+		}
+		scenarios = append(scenarios, engine.Scenario{
+			Name: name, Spec: spec, Config: cfg, Workload: factory,
+		})
+	}
+
+	results := engine.Runner{Jobs: jobs}.RunAll(scenarios)
+	for i, res := range results {
+		if res.Err != nil {
+			return res.Err
+		}
+		base := cfg.Name
+		if multi {
+			base = cfg.Name + "." + scenarios[i].Name
+		}
+		if err := report1(res.Profile, cfg, base); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range cloud {
 		sc := experiments.DefaultScale()
 		sc.Cores = cores
-		res, err := experiments.CloudTemporal(sc, map[string]string{
-			"pagerank": "pagerank", "inmem": "inmem"}[workload])
+		res, err := experiments.CloudTemporal(sc, name)
 		if err != nil {
 			return err
 		}
+		base := cfg.Name
+		if multi {
+			base = cfg.Name + "." + name
+		}
 		fmt.Printf("%s: wall %.1fs, peak RSS %.1f GiB (%.1f%% of machine), peak bandwidth %.1f GiB/s\n",
 			res.Workload, res.WallSec, res.PeakRSSGiB, res.UtilizationPct, res.PeakBWGiBps)
-		if err := writeSeries(cfg.Name+".capacity.csv", &res.Capacity); err != nil {
+		if err := writeSeries(base+".capacity.csv", &res.Capacity); err != nil {
 			return err
 		}
-		return writeSeries(cfg.Name+".bandwidth.csv", &res.Bandwidth)
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		if err := writeSeries(base+".bandwidth.csv", &res.Bandwidth); err != nil {
+			return err
+		}
 	}
+	return nil
+}
 
-	mach := nmo.NewMachine(spec)
-	prof, err := nmo.Run(cfg, mach, w)
-	if err != nil {
-		return err
-	}
-
+// report1 prints one profile's summary tables and writes its trace and
+// series files under the given base name.
+func report1(prof *nmo.Profile, cfg nmo.Config, base string) error {
 	fmt.Printf("workload %s, %d threads: wall %d cycles (%.3f ms simulated)\n",
 		prof.Workload, prof.Threads, prof.Wall, prof.WallSec*1e3)
 	if cfg.Enable {
@@ -115,7 +178,7 @@ func run(workload string, threads, elems, iters, cores int, seed uint64) error {
 		p50, p90, p99 := analysis.LatencyPercentiles(prof.Trace)
 		fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n", p50, p90, p99)
 
-		f, err := os.Create(cfg.Name + ".trace.csv")
+		f, err := os.Create(base + ".trace.csv")
 		if err != nil {
 			return err
 		}
@@ -124,7 +187,7 @@ func run(workload string, threads, elems, iters, cores int, seed uint64) error {
 			return err
 		}
 		f.Close()
-		fb, err := os.Create(cfg.Name + ".trace.bin")
+		fb, err := os.Create(base + ".trace.bin")
 		if err != nil {
 			return err
 		}
@@ -133,14 +196,14 @@ func run(workload string, threads, elems, iters, cores int, seed uint64) error {
 			return err
 		}
 		fb.Close()
-		fmt.Printf("wrote %s.trace.csv and %s.trace.bin\n", cfg.Name, cfg.Name)
+		fmt.Printf("wrote %s.trace.csv and %s.trace.bin\n", base, base)
 	}
 	if cfg.Mode.Counters() {
-		if err := writeSeries(cfg.Name+".bandwidth.csv", &prof.Bandwidth); err != nil {
+		if err := writeSeries(base+".bandwidth.csv", &prof.Bandwidth); err != nil {
 			return err
 		}
 		if cfg.TrackRSS {
-			if err := writeSeries(cfg.Name+".capacity.csv", &prof.Capacity); err != nil {
+			if err := writeSeries(base+".capacity.csv", &prof.Capacity); err != nil {
 				return err
 			}
 		}

@@ -3,7 +3,12 @@
 //
 //	nmorepro -exp all            # everything (DefaultScale, minutes)
 //	nmorepro -exp fig8 -quick    # one artifact at reduced scale
+//	nmorepro -exp fig8 -jobs 4   # shard the sweep over 4 workers
 //	nmorepro -list               # show the experiment index
+//
+// Sweeps execute as scenario batches on the internal/engine worker
+// pool; -jobs bounds the pool (default: one worker per CPU). Output
+// tables are bit-identical at any -jobs value.
 //
 // Output is textual: aligned tables for the numeric artifacts and
 // ASCII heatmaps/series plots for the scatter/timeline figures. Pass
@@ -47,6 +52,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced QuickScale configuration")
 	csvDir := flag.String("csv", "", "directory for CSV series dumps (optional)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial; results identical)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +66,7 @@ func main() {
 	if *quick {
 		sc = experiments.QuickScale()
 	}
+	sc.Jobs = *jobs
 	r := &runner{sc: sc, csvDir: *csvDir}
 
 	ids := strings.Split(*exp, ",")

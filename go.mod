@@ -1,0 +1,3 @@
+module nmo
+
+go 1.22

@@ -85,6 +85,12 @@ func (p *Profile) ArithmeticIntensity() float64 {
 // Session profiles workloads on a machine. One session owns the
 // machine's probes and callbacks while it runs; create a fresh session
 // (or reuse this one) per run.
+//
+// A Session holds no mutable run state of its own — everything a run
+// touches lives in the per-run pipeline — so sessions over *distinct*
+// machines are safe to run concurrently (the engine package exploits
+// this by giving every worker its own machine). Two sessions sharing
+// one machine must still serialize.
 type Session struct {
 	cfg  Config
 	mach *machine.Machine
@@ -111,11 +117,72 @@ type kernelWindow struct {
 	label   int16
 }
 
+// run carries one profiling run through the pipeline. Each stage is a
+// method; Session.Run composes them. All mutable state is confined
+// here so a Session itself stays stateless across runs.
+type run struct {
+	s       *Session
+	w       workloads.Workload
+	spec    machine.Spec
+	threads int
+	prof    *Profile
+
+	// Region attribution tables (prepare).
+	sortedRegions []workloads.Region
+	regionIndex   map[string]int16
+
+	// Event plumbing (setupEvents; nil when profiling is disabled).
+	ts        sim.Timescale
+	kern      *perfev.Kernel
+	memEvents []*perfev.Event
+	busEvents []*perfev.Event
+	speEvents []*perfev.Event
+
+	// Tagged-phase windows (setupMarkers/execute).
+	windows []kernelWindow
+	open    map[int16]uint64
+
+	// Execution results (execute/drain).
+	res        machine.RunResult
+	inRunDrain sim.Cycles
+}
+
 // Run executes the workload under the configured profiling mode and
 // returns the profile. When cfg.Enable is false the workload still
 // runs (transparent pass-through) and only wall time is reported,
 // which is exactly what the overhead baseline measures.
+//
+// The run is a pipeline of stages; disabled collectors turn their
+// stages into no-ops rather than branching the control flow:
+//
+//	prepare -> setupEvents -> setupMarkers -> setupTemporal
+//	        -> execute -> drain -> attribute -> aggregate
 func (s *Session) Run(w workloads.Workload) (*Profile, error) {
+	r, err := s.prepare(w)
+	if err != nil {
+		return nil, err
+	}
+	defer r.teardown()
+	for _, stage := range []func() error{
+		r.setupEvents,   // counting + SPE sampling probes
+		r.setupMarkers,  // tagged-phase annotation windows
+		r.setupTemporal, // bandwidth/capacity collectors
+		r.execute,       // run the op streams on the machine
+		r.drain,         // post-exit aux flush + decode
+		r.attribute,     // kernel-window sample attribution
+		r.aggregate,     // stats, interference, checksum
+	} {
+		if err := stage(); err != nil {
+			return nil, err
+		}
+	}
+	return r.prof, nil
+}
+
+// prepare validates the workload against the machine, builds the
+// profile skeleton and region-attribution tables, and claims the
+// machine's probe/callback slots.
+func (s *Session) prepare(w workloads.Workload) (*run, error) {
 	threads := w.Threads()
 	spec := s.mach.Spec()
 	if threads > spec.Cores {
@@ -125,10 +192,9 @@ func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 
 	prof := &Profile{Workload: w.Name(), Threads: threads}
 	regions := w.Regions()
-	labels := w.Labels()
-	prof.Trace = &trace.Trace{Workload: w.Name(), Kernels: labels}
-	for _, r := range regions {
-		prof.Trace.Regions = append(prof.Trace.Regions, r.Name)
+	prof.Trace = &trace.Trace{Workload: w.Name(), Kernels: w.Labels()}
+	for _, reg := range regions {
+		prof.Trace.Regions = append(prof.Trace.Regions, reg.Name)
 	}
 	sortedRegions := make([]workloads.Region, len(regions))
 	copy(sortedRegions, regions)
@@ -136,191 +202,257 @@ func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 		return sortedRegions[i].Lo < sortedRegions[j].Lo
 	})
 	regionIndex := make(map[string]int16, len(regions))
-	for i, r := range regions {
-		regionIndex[r.Name] = int16(i)
+	for i, reg := range regions {
+		regionIndex[reg.Name] = int16(i)
 	}
 
 	s.mach.ClearProbes()
 	s.mach.ClearTicks()
 	s.mach.SetMarkerFunc(nil)
-	defer func() {
-		s.mach.ClearProbes()
-		s.mach.ClearTicks()
-		s.mach.SetMarkerFunc(nil)
-	}()
 
-	if !s.cfg.Enable {
-		res, err := s.mach.Run(w.Streams())
-		if err != nil {
-			return nil, err
-		}
-		s.fillRunStats(prof, res, spec)
-		return prof, nil
+	return &run{
+		s: s, w: w, spec: spec, threads: threads, prof: prof,
+		sortedRegions: sortedRegions, regionIndex: regionIndex,
+		open: make(map[int16]uint64),
+	}, nil
+}
+
+// teardown releases the machine's probe/callback slots.
+func (r *run) teardown() {
+	r.s.mach.ClearProbes()
+	r.s.mach.ClearTicks()
+	r.s.mach.SetMarkerFunc(nil)
+}
+
+// setupEvents opens the counting events (exact mem_access on every
+// active core — the perf-stat denominator — plus bus_access for
+// bandwidth) and, in sampling modes, the per-core SPE events with
+// their ring/aux mappings and decode callbacks.
+func (r *run) setupEvents() error {
+	cfg := &r.s.cfg
+	if !cfg.Enable {
+		return nil
 	}
 
-	ts := sim.TimescaleFor(spec.Freq, 1, 0)
-	kern := perfev.NewKernel(spec.Cores, s.cfg.Costs, ts, xrand.New(s.cfg.Seed))
-	if s.cfg.PageBytes > 0 {
-		kern.SetPageSize(s.cfg.PageBytes)
+	r.ts = sim.TimescaleFor(r.spec.Freq, 1, 0)
+	r.kern = perfev.NewKernel(r.spec.Cores, cfg.Costs, r.ts, xrand.New(cfg.Seed))
+	if cfg.PageBytes > 0 {
+		r.kern.SetPageSize(cfg.PageBytes)
 	}
 
-	// Counting events: exact mem_access on every active core (the
-	// perf-stat denominator), plus bus_access for bandwidth.
-	memEvents := make([]*perfev.Event, threads)
-	busEvents := make([]*perfev.Event, threads)
-	for t := 0; t < threads; t++ {
+	r.memEvents = make([]*perfev.Event, r.threads)
+	r.busEvents = make([]*perfev.Event, r.threads)
+	for t := 0; t < r.threads; t++ {
 		var err error
-		memEvents[t], err = kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawMemAccess}, t)
+		r.memEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawMemAccess}, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		busEvents[t], err = kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawBusAccess}, t)
+		r.busEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawBusAccess}, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := s.mach.AttachProbe(t, memEvents[t]); err != nil {
-			return nil, err
+		if err := r.s.mach.AttachProbe(t, r.memEvents[t]); err != nil {
+			return err
 		}
-		if err := s.mach.AttachProbe(t, busEvents[t]); err != nil {
-			return nil, err
+		if err := r.s.mach.AttachProbe(t, r.busEvents[t]); err != nil {
+			return err
 		}
 	}
 
-	// SPE sampling events.
-	var speEvents []*perfev.Event
-	if s.cfg.Mode.Sampling() {
-		attr := &perfev.Attr{
-			Type:         perfev.TypeArmSPE,
-			Config:       perfev.SPETSEnable,
-			Config2:      uint64(s.cfg.MinLatencyFilter),
-			SamplePeriod: s.cfg.EffectivePeriod(),
-			AuxWatermark: s.cfg.AuxWatermarkBytes,
-		}
-		if s.cfg.SampleLoads {
-			attr.Config |= perfev.SPELoadFilter
-		}
-		if s.cfg.SampleStores {
-			attr.Config |= perfev.SPEStoreFilter
-		}
-		if s.cfg.Jitter {
-			attr.Config |= perfev.SPEJitter
-		}
-		for t := 0; t < threads; t++ {
-			ev, err := kern.Open(attr, t)
-			if err != nil {
-				return nil, err
-			}
-			if err := ev.MmapRing(s.cfg.EffectiveRingPages()); err != nil {
-				return nil, err
-			}
-			if err := ev.MmapAux(s.cfg.EffectiveAuxPages()); err != nil {
-				return nil, err
-			}
-			core := int16(t)
-			ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
-				st := perfev.DecodeSpan(span, func(r *spepkt.Record) {
-					prof.SPE.Processed++
-					if len(prof.Trace.Samples) >= s.cfg.MaxSamples {
-						return
-					}
-					prof.Trace.Samples = append(prof.Trace.Samples, trace.Sample{
-						TimeNs: ts.ToNanos(r.TS),
-						VA:     r.VA,
-						PC:     r.PC,
-						Lat:    r.TotalLat,
-						Core:   core,
-						Region: attributeRegion(sortedRegions, regionIndex, r.VA),
-						Kernel: -1, // attributed after the run
-						Store:  r.IsStore(),
-						Level:  levelOfSource(r.Source),
-					})
-				})
-				prof.SPE.SkippedInvalid += uint64(st.Skipped)
-			})
-			if err := s.mach.AttachProbe(t, ev); err != nil {
-				return nil, err
-			}
-			speEvents = append(speEvents, ev)
-		}
+	if !cfg.Mode.Sampling() {
+		return nil
 	}
+	attr := &perfev.Attr{
+		Type:         perfev.TypeArmSPE,
+		Config:       perfev.SPETSEnable,
+		Config2:      uint64(cfg.MinLatencyFilter),
+		SamplePeriod: cfg.EffectivePeriod(),
+		AuxWatermark: cfg.AuxWatermarkBytes,
+	}
+	if cfg.SampleLoads {
+		attr.Config |= perfev.SPELoadFilter
+	}
+	if cfg.SampleStores {
+		attr.Config |= perfev.SPEStoreFilter
+	}
+	if cfg.Jitter {
+		attr.Config |= perfev.SPEJitter
+	}
+	for t := 0; t < r.threads; t++ {
+		ev, err := r.kern.Open(attr, t)
+		if err != nil {
+			return err
+		}
+		if err := ev.MmapRing(cfg.EffectiveRingPages()); err != nil {
+			return err
+		}
+		if err := ev.MmapAux(cfg.EffectiveAuxPages()); err != nil {
+			return err
+		}
+		core := int16(t)
+		ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
+			r.decodeSpan(core, span)
+		})
+		if err := r.s.mach.AttachProbe(t, ev); err != nil {
+			return err
+		}
+		r.speEvents = append(r.speEvents, ev)
+	}
+	return nil
+}
 
-	// Annotation markers: tagged execution phases.
-	var windows []kernelWindow
-	open := make(map[int16]uint64) // label -> startNs
-	nsOf := func(c sim.Cycles) uint64 {
-		return uint64(spec.Freq.Seconds(c) * 1e9)
+// decodeSpan is the decode stage's hot path: it parses one drained aux
+// span and appends attributed samples to the trace. It runs inside
+// kernel wakeups during execute and again from drain for the residual
+// flush.
+func (r *run) decodeSpan(core int16, span []byte) {
+	cfg := &r.s.cfg
+	st := perfev.DecodeSpan(span, func(rec *spepkt.Record) {
+		r.prof.SPE.Processed++
+		if len(r.prof.Trace.Samples) >= cfg.MaxSamples {
+			return
+		}
+		r.prof.Trace.Samples = append(r.prof.Trace.Samples, trace.Sample{
+			TimeNs: r.ts.ToNanos(rec.TS),
+			VA:     rec.VA,
+			PC:     rec.PC,
+			Lat:    rec.TotalLat,
+			Core:   core,
+			Region: attributeRegion(r.sortedRegions, r.regionIndex, rec.VA),
+			Kernel: -1, // attributed after the run
+			Store:  rec.IsStore(),
+			Level:  levelOfSource(rec.Source),
+		})
+	})
+	r.prof.SPE.SkippedInvalid += uint64(st.Skipped)
+}
+
+// setupMarkers registers the annotation receiver that turns
+// nmo_start/nmo_stop pseudo-ops into tagged execution-phase windows.
+func (r *run) setupMarkers() error {
+	if !r.s.cfg.Enable {
+		return nil
 	}
-	s.mach.SetMarkerFunc(func(coreID int, now sim.Cycles, op *isa.Op) {
+	r.s.mach.SetMarkerFunc(func(coreID int, now sim.Cycles, op *isa.Op) {
 		switch op.Marker {
 		case isa.MarkerStart:
-			open[int16(op.Label)] = nsOf(now)
+			r.open[int16(op.Label)] = r.nsOf(now)
 		case isa.MarkerStop:
-			if start, ok := open[int16(op.Label)]; ok {
-				windows = append(windows, kernelWindow{
-					startNs: start, endNs: nsOf(now), label: int16(op.Label),
+			if start, ok := r.open[int16(op.Label)]; ok {
+				r.windows = append(r.windows, kernelWindow{
+					startNs: start, endNs: r.nsOf(now), label: int16(op.Label),
 				})
-				delete(open, int16(op.Label))
+				delete(r.open, int16(op.Label))
 			}
 		}
 	})
+	return nil
+}
 
-	// Temporal collectors.
-	var intervalCycles sim.Cycles
-	if s.cfg.Mode.Counters() && s.cfg.IntervalSec > 0 {
-		intervalCycles = spec.Freq.CyclesOf(s.cfg.IntervalSec)
+// nsOf converts machine cycles to the trace's nanosecond timebase.
+func (r *run) nsOf(c sim.Cycles) uint64 {
+	return uint64(r.spec.Freq.Seconds(c) * 1e9)
+}
+
+// setupTemporal registers the per-quantum tick that subsamples the
+// bandwidth and capacity series at the configured interval.
+func (r *run) setupTemporal() error {
+	cfg := &r.s.cfg
+	if !cfg.Enable {
+		return nil
+	}
+	if cfg.Mode.Counters() && cfg.IntervalSec > 0 {
+		intervalCycles := r.spec.Freq.CyclesOf(cfg.IntervalSec)
 		if intervalCycles == 0 {
-			intervalCycles = spec.Quantum
+			intervalCycles = r.spec.Quantum
 		}
-		var next sim.Cycles
+		next := intervalCycles
 		var prevBytes uint64
-		next = intervalCycles
-		s.mach.OnTick(func(now sim.Cycles) {
+		r.s.mach.OnTick(func(now sim.Cycles) {
 			for now >= next {
 				var bus uint64
-				for _, ev := range busEvents {
+				for _, ev := range r.busEvents {
 					bus += ev.ReadCount()
 				}
 				bytes := bus * 64
 				gibps := float64(bytes-prevBytes) /
-					s.cfg.IntervalSec / float64(1<<30)
+					cfg.IntervalSec / float64(1<<30)
 				prevBytes = bytes
-				tsec := spec.Freq.Seconds(next)
-				prof.Bandwidth.Points = append(prof.Bandwidth.Points,
+				tsec := r.spec.Freq.Seconds(next)
+				r.prof.Bandwidth.Points = append(r.prof.Bandwidth.Points,
 					trace.Point{TimeSec: tsec, Value: gibps})
-				if s.cfg.TrackRSS {
-					rss, _ := s.mach.RSS()
-					prof.Capacity.Points = append(prof.Capacity.Points,
+				if cfg.TrackRSS {
+					rss, _ := r.s.mach.RSS()
+					r.prof.Capacity.Points = append(r.prof.Capacity.Points,
 						trace.Point{TimeSec: tsec, Value: float64(rss) / float64(1<<30)})
 				}
 				next += intervalCycles
 			}
 		})
 	}
-	prof.Bandwidth.Name, prof.Bandwidth.Unit = "bandwidth", "GiBps"
-	prof.Capacity.Name, prof.Capacity.Unit = "capacity", "GiB"
+	r.prof.Bandwidth.Name, r.prof.Bandwidth.Unit = "bandwidth", "GiBps"
+	r.prof.Capacity.Name, r.prof.Capacity.Unit = "capacity", "GiB"
+	return nil
+}
 
-	res, err := s.mach.Run(w.Streams())
+// execute runs the workload's op streams on the machine and closes any
+// phase window left open at exit (implicit nmo_stop at program end).
+func (r *run) execute() error {
+	res, err := r.s.mach.Run(r.w.Streams())
 	if err != nil {
-		return nil, err
+		return err
 	}
-
-	// Close any window left open at exit (implicit nmo_stop at end).
-	for label, start := range open {
-		windows = append(windows, kernelWindow{startNs: start, endNs: nsOf(res.Wall), label: label})
+	r.res = res
+	// Close leftovers in label order: map iteration order must not
+	// leak into the window list (trace checksums are bit-reproducible).
+	leftover := make([]int16, 0, len(r.open))
+	for label := range r.open {
+		leftover = append(leftover, label)
 	}
-
-	// Capture the monitor's in-run drain work before the final drain:
-	// the end-of-program flush happens after exit and is not charged
-	// (§VII of the paper).
-	inRunDrainCycles := kern.DrainCycles()
-
-	// Drain residual aux data (after program exit; uncharged, §VII).
-	for _, ev := range speEvents {
-		ev.FinalDrain(s.mach.Now())
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	for _, label := range leftover {
+		r.windows = append(r.windows, kernelWindow{
+			startNs: r.open[label], endNs: r.nsOf(res.Wall), label: label,
+		})
 	}
+	return nil
+}
 
-	s.attributeKernels(prof.Trace, windows)
-	s.fillRunStats(prof, res, spec)
+// drain captures the monitor's in-run drain work, then flushes the
+// residual aux data. The end-of-program flush happens after exit and
+// is not charged (§VII of the paper) — which is why the in-run cycles
+// are snapshotted first.
+func (r *run) drain() error {
+	if r.kern == nil {
+		return nil
+	}
+	r.inRunDrain = r.kern.DrainCycles()
+	for _, ev := range r.speEvents {
+		ev.FinalDrain(r.s.mach.Now())
+	}
+	return nil
+}
+
+// attribute assigns each sample the tagged phase containing its
+// timestamp.
+func (r *run) attribute() error {
+	attributeKernels(r.prof.Trace, r.windows)
+	return nil
+}
+
+// aggregate folds machine results, event counters and SPE/kernel stats
+// into the profile, charges monitor interference, and seals the trace
+// with its checksum.
+func (r *run) aggregate() error {
+	prof, spec := r.prof, r.spec
+	prof.Wall = r.res.Wall
+	prof.WallSec = spec.Freq.Seconds(r.res.Wall)
+	prof.Flops = r.res.TotalFlops
+	prof.MaxRSS = r.res.MaxRSS
+	if !r.s.cfg.Enable {
+		return nil
+	}
 
 	// Monitor interference: NMO's monitoring process competes with the
 	// application for cores. With T app threads on a C-core machine,
@@ -329,19 +461,19 @@ func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 	// idle machine, and the reason time overhead creeps up toward full
 	// subscription in the paper's Fig. 10.
 	if spec.Cores > 0 {
-		interference := sim.Cycles(float64(inRunDrainCycles) *
-			float64(threads) / float64(spec.Cores))
+		interference := sim.Cycles(float64(r.inRunDrain) *
+			float64(r.threads) / float64(spec.Cores))
 		prof.Wall += interference
 		prof.WallSec = spec.Freq.Seconds(prof.Wall)
 	}
 
-	for _, ev := range memEvents {
+	for _, ev := range r.memEvents {
 		prof.MemAccesses += ev.ReadCount()
 	}
-	for _, ev := range busEvents {
+	for _, ev := range r.busEvents {
 		prof.BusAccesses += ev.ReadCount()
 	}
-	for _, ev := range speEvents {
+	for _, ev := range r.speEvents {
 		u := ev.SPEStats()
 		prof.SPE.OpsSeen += u.OpsSeen
 		prof.SPE.Selected += u.Selected
@@ -361,24 +493,23 @@ func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 		prof.Kernel.IRQCycles += k.IRQCycles
 	}
 	prof.MD5 = prof.Trace.MD5()
-	return prof, nil
-}
-
-// fillRunStats copies machine-level results into the profile.
-func (s *Session) fillRunStats(p *Profile, res machine.RunResult, spec machine.Spec) {
-	p.Wall = res.Wall
-	p.WallSec = spec.Freq.Seconds(res.Wall)
-	p.Flops = res.TotalFlops
-	p.MaxRSS = res.MaxRSS
+	return nil
 }
 
 // attributeKernels assigns each sample the tagged phase containing its
 // timestamp.
-func (s *Session) attributeKernels(tr *trace.Trace, windows []kernelWindow) {
+func attributeKernels(tr *trace.Trace, windows []kernelWindow) {
 	if len(windows) == 0 || len(tr.Samples) == 0 {
 		return
 	}
-	sort.Slice(windows, func(i, j int) bool { return windows[i].startNs < windows[j].startNs })
+	// Tie-break on label: sort.Slice is unstable, and equal start
+	// timestamps must not make attribution order run-dependent.
+	sort.Slice(windows, func(i, j int) bool {
+		if windows[i].startNs != windows[j].startNs {
+			return windows[i].startNs < windows[j].startNs
+		}
+		return windows[i].label < windows[j].label
+	})
 	starts := make([]uint64, len(windows))
 	for i, w := range windows {
 		starts[i] = w.startNs

@@ -1,0 +1,227 @@
+// Package engine executes batches of profiling scenarios across a
+// bounded worker pool.
+//
+// A Scenario is one (machine spec × profiler config × workload) point
+// of an experiment grid. The Runner shards a batch of scenarios across
+// workers: every execution builds its own machine.Machine from the
+// scenario's spec, so no simulation state is shared between workers
+// and results are bit-identical regardless of the worker count (the
+// simulator itself is deterministic — see DESIGN.md §7). Results come
+// back in submission order with per-scenario errors; nothing fails
+// fast unless asked.
+//
+// The sweep drivers in internal/experiments and the repro CLIs build
+// their grids as scenario batches and hand them here; the sweep shape
+// (Figs. 7–11 of the paper) is embarrassingly parallel, and the
+// engine is what lets the evaluation scale with the host's cores.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nmo/internal/core"
+	"nmo/internal/machine"
+	"nmo/internal/workloads"
+)
+
+// WorkloadFactory builds the workload a scenario runs. Factories are
+// invoked on the executing worker, so construction cost (e.g. BFS
+// graph generation) parallelizes along with the run; they must be
+// safe to call concurrently with other factories (pure functions of
+// their configuration, as all workload generators are).
+type WorkloadFactory func() (workloads.Workload, error)
+
+// Scenario is one executable point of an experiment grid.
+type Scenario struct {
+	// Name identifies the scenario in results and error messages.
+	Name string
+	// Spec describes the machine the scenario runs on; every
+	// execution builds a fresh machine from it.
+	Spec machine.Spec
+	// Config is the profiler configuration for the run.
+	Config core.Config
+	// Workload builds the workload to profile.
+	Workload WorkloadFactory
+	// Seed, when nonzero, overrides Config.Seed. Grids derive it per
+	// point with DeriveSeed so trial seeds decorrelate deterministically.
+	Seed uint64
+}
+
+// Result pairs a scenario with its outcome. Exactly one of Profile
+// and Err is set.
+type Result struct {
+	// Name echoes the scenario name.
+	Name string
+	// Profile is the run's profile on success.
+	Profile *core.Profile
+	// Err is the per-scenario failure, ErrSkipped if a fail-fast
+	// batch aborted before this scenario started.
+	Err error
+}
+
+// ErrSkipped marks scenarios a fail-fast batch never started.
+var ErrSkipped = errors.New("engine: scenario skipped after earlier failure")
+
+// Runner executes scenario batches. The zero value runs with one
+// worker per available CPU and no fail-fast.
+type Runner struct {
+	// Jobs bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// FailFast stops handing out new scenarios after the first error;
+	// in-flight scenarios finish, unstarted ones report ErrSkipped.
+	FailFast bool
+}
+
+// jobs resolves the effective worker count for n scenarios.
+func (r Runner) jobs(n int) int {
+	j := r.Jobs
+	if j <= 0 {
+		j = runtime.GOMAXPROCS(0)
+	}
+	if j > n {
+		j = n
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// RunAll executes the batch and returns one result per scenario, in
+// submission order. Errors (including panics inside a scenario, which
+// are recovered per worker) land in the corresponding Result; the
+// batch itself always completes unless FailFast is set.
+func (r Runner) RunAll(scenarios []Scenario) []Result {
+	results := make([]Result, len(scenarios))
+	if len(scenarios) == 0 {
+		return results
+	}
+
+	var failed atomic.Bool
+	exec := func(i int) {
+		sc := &scenarios[i]
+		results[i].Name = sc.Name
+		if r.FailFast && failed.Load() {
+			results[i].Err = ErrSkipped
+			return
+		}
+		prof, err := runScenario(sc)
+		results[i].Profile, results[i].Err = prof, err
+		if err != nil {
+			failed.Store(true)
+		}
+	}
+
+	jobs := r.jobs(len(scenarios))
+	if jobs == 1 {
+		// Serial fast path: no goroutines, same code path otherwise.
+		for i := range scenarios {
+			exec(i)
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				exec(i)
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Run executes a single scenario inline (no pool).
+func Run(sc Scenario) (*core.Profile, error) {
+	return runScenario(&sc)
+}
+
+// runScenario builds the scenario's private machine and session and
+// runs the pipeline, converting panics (workload constructors panic on
+// nonsensical static configuration) into per-scenario errors.
+func runScenario(sc *Scenario) (prof *core.Profile, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: scenario %q panicked: %v", sc.Name, p)
+		}
+	}()
+	if sc.Workload == nil {
+		return nil, fmt.Errorf("engine: scenario %q has no workload factory", sc.Name)
+	}
+	w, err := sc.Workload()
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q workload: %w", sc.Name, err)
+	}
+	cfg := sc.Config
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	m := machine.New(sc.Spec)
+	s, err := core.NewSession(cfg, m)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	prof, err = s.Run(w)
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	return prof, nil
+}
+
+// FirstError returns the first non-skip error in the batch (submission
+// order), or the first ErrSkipped if nothing else failed, or nil.
+func FirstError(results []Result) error {
+	var skipped error
+	for i := range results {
+		switch {
+		case results[i].Err == nil:
+		case errors.Is(results[i].Err, ErrSkipped):
+			if skipped == nil {
+				skipped = results[i].Err
+			}
+		default:
+			return results[i].Err
+		}
+	}
+	return skipped
+}
+
+// Profiles unwraps a fully successful batch into its profiles, or
+// returns the batch's first error.
+func Profiles(results []Result) ([]*core.Profile, error) {
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]*core.Profile, len(results))
+	for i := range results {
+		out[i] = results[i].Profile
+	}
+	return out, nil
+}
+
+// DeriveSeed deterministically mixes a base seed with a scenario index
+// (splitmix64 finalizer), decorrelating per-trial RNG streams while
+// keeping grids reproducible from one base seed.
+func DeriveSeed(base uint64, idx int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nmo/internal/core"
+	"nmo/internal/machine"
+	"nmo/internal/workloads"
+)
+
+// testScenario builds a small sampling scenario; idx varies the seed.
+func testScenario(idx int) Scenario {
+	cfg := core.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = core.ModeSample
+	cfg.Period = 700
+	cfg.RingPages = 8
+	cfg.AuxPages = 64
+	cfg.PageBytes = 1024
+	return Scenario{
+		Name:   fmt.Sprintf("stream/%d", idx),
+		Spec:   machine.AmpereAltraMax().WithCores(4),
+		Config: cfg,
+		Seed:   DeriveSeed(42, idx),
+		Workload: func() (workloads.Workload, error) {
+			return workloads.NewStream(workloads.StreamConfig{
+				Elems: 30_000, Threads: 4, Iters: 2,
+			}), nil
+		},
+	}
+}
+
+func testBatch(n int) []Scenario {
+	scs := make([]Scenario, n)
+	for i := range scs {
+		scs[i] = testScenario(i)
+	}
+	return scs
+}
+
+func TestRunAllSubmissionOrderAndNames(t *testing.T) {
+	scs := testBatch(6)
+	rs := Runner{Jobs: 3}.RunAll(scs)
+	if len(rs) != len(scs) {
+		t.Fatalf("results = %d, want %d", len(rs), len(scs))
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("scenario %d: %v", i, r.Err)
+		}
+		if r.Name != scs[i].Name {
+			t.Errorf("result %d name = %q, want %q", i, r.Name, scs[i].Name)
+		}
+		if r.Profile == nil || r.Profile.SPE.Processed == 0 {
+			t.Errorf("scenario %d produced no samples", i)
+		}
+	}
+}
+
+func TestRunAllDeterministicAcrossJobs(t *testing.T) {
+	// The determinism contract of the whole engine: the same batch at
+	// jobs=1 and jobs=8 yields bit-identical trace checksums and
+	// identical aggregate statistics.
+	serial := Runner{Jobs: 1}.RunAll(testBatch(8))
+	parallel := Runner{Jobs: 8}.RunAll(testBatch(8))
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("scenario %d errored: %v / %v", i, s.Err, p.Err)
+		}
+		if s.Profile.MD5 != p.Profile.MD5 {
+			t.Errorf("scenario %d: MD5 differs between jobs=1 and jobs=8", i)
+		}
+		if s.Profile.Wall != p.Profile.Wall ||
+			s.Profile.SPE != p.Profile.SPE ||
+			s.Profile.Kernel != p.Profile.Kernel {
+			t.Errorf("scenario %d: stats differ between jobs=1 and jobs=8", i)
+		}
+	}
+}
+
+func TestRunAllDistinctSeedsDecorrelate(t *testing.T) {
+	rs := Runner{}.RunAll(testBatch(3))
+	if err := FirstError(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Profile.MD5 == rs[1].Profile.MD5 {
+		t.Error("different derived seeds produced identical traces")
+	}
+}
+
+func TestRunAllErrorIsolation(t *testing.T) {
+	scs := testBatch(4)
+	scs[1].Workload = func() (workloads.Workload, error) {
+		return nil, errors.New("boom")
+	}
+	// Threads beyond the machine's cores: Session.Run rejects it.
+	scs[2].Workload = func() (workloads.Workload, error) {
+		return workloads.NewStream(workloads.StreamConfig{
+			Elems: 1000, Threads: 64, Iters: 1,
+		}), nil
+	}
+	rs := Runner{Jobs: 2}.RunAll(scs)
+	if rs[0].Err != nil || rs[3].Err != nil {
+		t.Errorf("healthy scenarios failed: %v / %v", rs[0].Err, rs[3].Err)
+	}
+	if rs[1].Err == nil || !strings.Contains(rs[1].Err.Error(), "boom") {
+		t.Errorf("factory error lost: %v", rs[1].Err)
+	}
+	if rs[2].Err == nil {
+		t.Error("oversubscribed scenario did not error")
+	}
+	if err := FirstError(rs); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("FirstError = %v, want the first failure", err)
+	}
+}
+
+func TestRunAllPanicRecovered(t *testing.T) {
+	scs := testBatch(2)
+	scs[0].Workload = func() (workloads.Workload, error) {
+		// NewStream panics on nonsensical static configuration.
+		return workloads.NewStream(workloads.StreamConfig{}), nil
+	}
+	rs := Runner{Jobs: 2}.RunAll(scs)
+	if rs[0].Err == nil || !strings.Contains(rs[0].Err.Error(), "panicked") {
+		t.Errorf("panic not converted to error: %v", rs[0].Err)
+	}
+	if rs[1].Err != nil {
+		t.Errorf("panic leaked into sibling scenario: %v", rs[1].Err)
+	}
+}
+
+func TestRunAllFailFast(t *testing.T) {
+	scs := testBatch(8)
+	scs[0].Workload = func() (workloads.Workload, error) {
+		return nil, errors.New("first failure")
+	}
+	rs := Runner{Jobs: 1, FailFast: true}.RunAll(scs)
+	if rs[0].Err == nil {
+		t.Fatal("failure lost")
+	}
+	skipped := 0
+	for _, r := range rs[1:] {
+		if errors.Is(r.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped != len(scs)-1 {
+		t.Errorf("fail-fast skipped %d of %d", skipped, len(scs)-1)
+	}
+}
+
+func TestRunAllNoFailFastByDefault(t *testing.T) {
+	scs := testBatch(3)
+	scs[0].Workload = func() (workloads.Workload, error) {
+		return nil, errors.New("first failure")
+	}
+	rs := Runner{Jobs: 1}.RunAll(scs)
+	for i, r := range rs[1:] {
+		if r.Err != nil {
+			t.Errorf("scenario %d did not run: %v", i+1, r.Err)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	prof, err := Run(testScenario(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.SPE.Processed == 0 {
+		t.Error("no samples")
+	}
+	// Run must agree with the same scenario through RunAll.
+	rs := Runner{Jobs: 2}.RunAll(testBatch(1))
+	if err := FirstError(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Profile.MD5 != prof.MD5 {
+		t.Error("Run and RunAll disagree on the same scenario")
+	}
+}
+
+func TestRunMissingFactory(t *testing.T) {
+	sc := testScenario(0)
+	sc.Workload = nil
+	if _, err := Run(sc); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	rs := Runner{}.RunAll(testBatch(2))
+	ps, err := Profiles(rs)
+	if err != nil || len(ps) != 2 || ps[0] == nil {
+		t.Fatalf("Profiles = %v, %v", ps, err)
+	}
+	rs[1].Err = errors.New("late failure")
+	if _, err := Profiles(rs); err == nil {
+		t.Error("Profiles ignored an error")
+	}
+}
+
+func TestRunAllEmptyBatch(t *testing.T) {
+	if rs := (Runner{}).RunAll(nil); len(rs) != 0 {
+		t.Errorf("empty batch returned %d results", len(rs))
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s == 0 {
+			t.Fatal("zero derived seed")
+		}
+		if seen[s] {
+			t.Fatalf("derived seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(42, 7) == DeriveSeed(43, 7) {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestRunnerJobsClamping(t *testing.T) {
+	if got := (Runner{Jobs: 16}).jobs(4); got != 4 {
+		t.Errorf("jobs(4) with 16 workers = %d, want 4", got)
+	}
+	if got := (Runner{Jobs: -1}).jobs(100); got < 1 {
+		t.Errorf("auto jobs = %d, want >= 1", got)
+	}
+	if got := (Runner{Jobs: 2}).jobs(100); got != 2 {
+		t.Errorf("jobs = %d, want 2", got)
+	}
+}

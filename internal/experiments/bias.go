@@ -2,8 +2,7 @@ package experiments
 
 import (
 	"nmo/internal/analysis"
-	"nmo/internal/core"
-	"nmo/internal/machine"
+	"nmo/internal/engine"
 )
 
 // BiasResult holds the §IX future-work study: sampling bias across
@@ -32,10 +31,6 @@ type BiasResult struct {
 // non-memory slot, collecting no samples at all (bias 1.0).
 func BiasStudy(sc Scale) (*BiasResult, error) {
 	const period = 1000 // divisible by STREAM's 5 ops/element
-	w, err := sc.workloadFor("stream", sc.Threads)
-	if err != nil {
-		return nil, err
-	}
 	// True memory-op PC mix: loads of b and c, store of a — one each
 	// per element at fixed code sites.
 	truth := map[uint64]float64{
@@ -44,25 +39,20 @@ func BiasStudy(sc Scale) (*BiasResult, error) {
 		0x0040_100c: 1.0 / 3, // store a
 	}
 
-	run := func(jitter bool) (*core.Profile, error) {
-		m := machine.New(sc.specFor())
+	// Both configurations run as one two-scenario batch.
+	scenario := func(jitter bool, name string) engine.Scenario {
 		cfg := sc.samplingConfig(period, 0)
 		cfg.Jitter = jitter
-		s, err := core.NewSession(cfg, m)
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(w)
+		return sc.scenario(name, "stream", sc.Threads, cfg)
 	}
-
-	on, err := run(true)
+	profs, err := engine.Profiles(sc.runner().RunAll([]engine.Scenario{
+		scenario(true, "stream/bias/jitter=on"),
+		scenario(false, "stream/bias/jitter=off"),
+	}))
 	if err != nil {
 		return nil, err
 	}
-	off, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	on, off := profs[0], profs[1]
 
 	res := &BiasResult{
 		Period:        period,

@@ -10,6 +10,11 @@
 // phenomena appear at the same relative positions. Scale collects all
 // the knobs; DefaultScale is what EXPERIMENTS.md records, QuickScale
 // keeps unit tests and smoke benches fast.
+//
+// Every sweep submits its full grid (baselines included) as one
+// engine.Runner batch, sharding scenarios across Scale.Jobs workers;
+// aggregation walks results in submission order, so tables are
+// bit-identical at any worker count (DESIGN.md §7).
 package experiments
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"nmo/internal/analysis"
 	"nmo/internal/core"
+	"nmo/internal/engine"
 	"nmo/internal/machine"
 	"nmo/internal/perfev"
 	"nmo/internal/sim"
@@ -51,6 +57,10 @@ type Scale struct {
 	CloudBlockBytes uint32
 	// Seed is the base seed; trial t derives seed Seed+t.
 	Seed uint64
+	// Jobs bounds the scenario-execution worker pool (engine.Runner);
+	// 0 uses every available CPU, 1 forces serial execution. Results
+	// are bit-identical at any value.
+	Jobs int
 }
 
 // DefaultScale is the configuration used to produce EXPERIMENTS.md.
@@ -132,18 +142,27 @@ func (sc Scale) workloadFor(name string, threads int) (workloads.Workload, error
 	return nil, fmt.Errorf("experiments: unknown workload %q", name)
 }
 
-// baselineWall runs the workload uninstrumented and returns wall
-// cycles (the paper's main-function timing baseline).
-func baselineWall(m *machine.Machine, w workloads.Workload) (sim.Cycles, error) {
-	s, err := core.NewSession(core.DefaultConfig(), m)
-	if err != nil {
-		return 0, err
+// runner builds the scenario-execution pool for this scale.
+func (sc Scale) runner() engine.Runner { return engine.Runner{Jobs: sc.Jobs} }
+
+// scenario builds one cycle-level scenario on the standard spec. The
+// workload factory runs on the executing worker, so graph/mesh
+// construction parallelizes along with the simulation.
+func (sc Scale) scenario(name, workload string, threads int, cfg core.Config) engine.Scenario {
+	return engine.Scenario{
+		Name:   name,
+		Spec:   sc.specFor(),
+		Config: cfg,
+		Workload: func() (workloads.Workload, error) {
+			return sc.workloadFor(workload, threads)
+		},
 	}
-	p, err := s.Run(w)
-	if err != nil {
-		return 0, err
-	}
-	return p.Wall, nil
+}
+
+// baselineScenario is the uninstrumented timing run (the paper's
+// main-function timing baseline), submitted as scenario 0 of a sweep.
+func (sc Scale) baselineScenario(workload string, threads int) engine.Scenario {
+	return sc.scenario(workload+"/baseline", workload, threads, core.DefaultConfig())
 }
 
 // trialResult is one profiled run's evaluation metrics.
@@ -157,19 +176,9 @@ type trialResult struct {
 	profile    *core.Profile
 }
 
-// runTrial profiles the workload and evaluates Eq. (1) and overhead
-// against the provided baseline.
-func runTrial(m *machine.Machine, w workloads.Workload, cfg core.Config,
-	baseline sim.Cycles) (trialResult, error) {
-
-	s, err := core.NewSession(cfg, m)
-	if err != nil {
-		return trialResult{}, err
-	}
-	p, err := s.Run(w)
-	if err != nil {
-		return trialResult{}, err
-	}
+// evalTrial evaluates Eq. (1) and overhead for one profiled run
+// against the sweep's baseline wall time.
+func evalTrial(p *core.Profile, cfg core.Config, baseline sim.Cycles) trialResult {
 	return trialResult{
 		accuracy:   analysis.Accuracy(p.MemAccesses, p.SPE.Processed, cfg.EffectivePeriod()),
 		overhead:   analysis.Overhead(baseline, p.Wall),
@@ -178,7 +187,7 @@ func runTrial(m *machine.Machine, w workloads.Workload, cfg core.Config,
 		hwColl:     p.SPE.Collisions,
 		truncated:  p.SPE.TruncatedHW + p.Kernel.TruncatedRecords,
 		profile:    p,
-	}, nil
+	}
 }
 
 // samplingConfig builds the profiler configuration for sensitivity

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// determinismScale is deliberately small: the jobs=1 vs jobs=8
+// comparison runs every sweep twice.
+func determinismScale(jobs int) Scale {
+	s := QuickScale()
+	s.Trials = 2
+	s.StreamElems = 120_000
+	s.Cores = 16
+	s.Threads = 8
+	s.Jobs = jobs
+	return s
+}
+
+// TestSweepTablesIdenticalAcrossJobs is the engine's end-to-end
+// determinism contract at the experiments layer: the same seed at
+// jobs=1 and jobs=8 yields identical sweep tables, field for field.
+func TestSweepTablesIdenticalAcrossJobs(t *testing.T) {
+	periods := []uint64{2000, 8000}
+
+	serial, err := PeriodSweep(determinismScale(1), "stream", periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := PeriodSweep(determinismScale(8), "stream", periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("period sweep differs between jobs=1 and jobs=8:\n%+v\nvs\n%+v",
+			serial, parallel)
+	}
+}
+
+func TestThreadSweepIdenticalAcrossJobs(t *testing.T) {
+	serial, err := Fig10ThreadSweep(determinismScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig10ThreadSweep(determinismScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("thread sweep differs between jobs=1 and jobs=8:\n%+v\nvs\n%+v",
+			serial, parallel)
+	}
+}
+
+// TestRegionTraceMD5IdenticalAcrossJobs pins the per-profile trace
+// checksum: identical seeds must yield bit-identical traces no matter
+// how the batch was sharded.
+func TestRegionTraceMD5IdenticalAcrossJobs(t *testing.T) {
+	a, err := RegionTrace(determinismScale(1), "stream", 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RegionTrace(determinismScale(8), "stream", 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.MD5() != b.Trace.MD5() {
+		t.Error("trace MD5 differs between jobs=1 and jobs=8")
+	}
+}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"nmo/internal/analysis"
-	"nmo/internal/machine"
+	"nmo/internal/core"
+	"nmo/internal/engine"
 )
 
 // Fig7Periods are the sampling periods of the Fig. 7 sample-count
@@ -34,27 +37,35 @@ type PeriodSweepResult struct {
 
 // PeriodSweep runs the Figs. 7–8 methodology for one workload: a
 // perf-stat + timing baseline, then Trials profiled runs per period.
+// The whole grid — baseline included — is submitted as one scenario
+// batch and shards across Scale.Jobs workers; aggregation walks the
+// results in submission order, so the tables are identical at any
+// worker count.
 func PeriodSweep(sc Scale, workload string, periods []uint64) (*PeriodSweepResult, error) {
-	w, err := sc.workloadFor(workload, sc.Threads)
+	scs := []engine.Scenario{sc.baselineScenario(workload, sc.Threads)}
+	for _, period := range periods {
+		for t := 0; t < sc.Trials; t++ {
+			scs = append(scs, sc.scenario(
+				fmt.Sprintf("%s/period=%d/trial=%d", workload, period, t),
+				workload, sc.Threads, sc.samplingConfig(period, t)))
+		}
+	}
+	profs, err := engine.Profiles(sc.runner().RunAll(scs))
 	if err != nil {
 		return nil, err
 	}
-	m := machine.New(sc.specFor())
-	base, err := baselineWall(m, w)
-	if err != nil {
-		return nil, err
-	}
-	res := &PeriodSweepResult{Workload: workload, Threads: sc.Threads, Baseline: uint64(base)}
 
+	base := profs[0].Wall
+	res := &PeriodSweepResult{Workload: workload, Threads: sc.Threads, Baseline: uint64(base)}
+	next := 1
 	for _, period := range periods {
 		pt := PeriodPoint{Period: period}
 		var acc, ovh, coll, hw []float64
 		for t := 0; t < sc.Trials; t++ {
-			cfg := sc.samplingConfig(period, t)
-			tr, err := runTrial(m, w, cfg, base)
-			if err != nil {
-				return nil, err
-			}
+			// Evaluate against the config the scenario actually ran
+			// (same index: results come back in submission order).
+			tr := evalTrial(profs[next], scs[next].Config, base)
+			next++
 			if res.MemOps == 0 {
 				res.MemOps = tr.profile.MemAccesses
 			}
@@ -93,37 +104,47 @@ type AuxSweepResult struct {
 	Points   []AuxPoint
 }
 
-// Fig9AuxSweep runs the aux buffer sensitivity study.
+// fig9Config is the per-trial configuration of the aux sweep.
+func (sc Scale) fig9Config(period uint64, pages, trial int) core.Config {
+	cfg := sc.samplingConfig(period, trial)
+	cfg.AuxPages = pages
+	cfg.RingPages = 8 // paper: ring buffer fixed to 9 pages
+	// Watermark at its half-buffer default: the wakeup (and its dead
+	// time) frequency is what the sweep varies.
+	cfg.AuxWatermarkBytes = 0
+	return cfg
+}
+
+// Fig9AuxSweep runs the aux buffer sensitivity study as one sharded
+// scenario batch.
 func Fig9AuxSweep(sc Scale) (*AuxSweepResult, error) {
 	// A period outside the heavy-collision regime, so aux-buffer
 	// pressure is the dominant loss mechanism as in the paper's
 	// Fig. 9 (their long runs fill any buffer; our scaled runs need a
 	// denser-but-clean period).
 	const period = 2048
-	w, err := sc.workloadFor("stream", sc.Threads)
+	scs := []engine.Scenario{sc.baselineScenario("stream", sc.Threads)}
+	for _, pages := range Fig9AuxPages {
+		for t := 0; t < sc.Trials; t++ {
+			scs = append(scs, sc.scenario(
+				fmt.Sprintf("stream/aux=%d/trial=%d", pages, t),
+				"stream", sc.Threads, sc.fig9Config(period, pages, t)))
+		}
+	}
+	profs, err := engine.Profiles(sc.runner().RunAll(scs))
 	if err != nil {
 		return nil, err
 	}
-	m := machine.New(sc.specFor())
-	base, err := baselineWall(m, w)
-	if err != nil {
-		return nil, err
-	}
+
+	base := profs[0].Wall
 	res := &AuxSweepResult{Period: period, Baseline: uint64(base)}
+	next := 1
 	for _, pages := range Fig9AuxPages {
 		pt := AuxPoint{AuxPages: pages}
 		var acc, ovh, trunc []float64
 		for t := 0; t < sc.Trials; t++ {
-			cfg := sc.samplingConfig(period, t)
-			cfg.AuxPages = pages
-			cfg.RingPages = 8 // paper: ring buffer fixed to 9 pages
-			// Watermark at its half-buffer default: the wakeup (and
-			// its dead time) frequency is what the sweep varies.
-			cfg.AuxWatermarkBytes = 0
-			tr, err := runTrial(m, w, cfg, base)
-			if err != nil {
-				return nil, err
-			}
+			tr := evalTrial(profs[next], scs[next].Config, base)
+			next++
 			acc = append(acc, tr.accuracy)
 			ovh = append(ovh, tr.overhead)
 			trunc = append(trunc, float64(tr.truncated))
@@ -157,39 +178,56 @@ type ThreadSweepResult struct {
 	Points   []ThreadPoint
 }
 
+// fig10Config is the per-trial configuration of the thread sweep.
+func (sc Scale) fig10Config(period uint64, auxPages, trial int) core.Config {
+	cfg := sc.samplingConfig(period, trial)
+	cfg.AuxPages = auxPages
+	cfg.RingPages = 8
+	// A low watermark keeps wakeups (and hence interrupt + monitor-
+	// interference costs) visible as per-core record rates shrink with
+	// the thread count.
+	cfg.AuxWatermarkBytes = 2048
+	return cfg
+}
+
 // Fig10ThreadSweep runs the thread scaling study: STREAM with the
-// Fig. 9 setup, aux fixed at 16 pages, thread count varied.
+// Fig. 9 setup, aux fixed at 16 pages, thread count varied. Every
+// thread count contributes its own baseline plus trials to a single
+// sharded batch.
 func Fig10ThreadSweep(sc Scale) (*ThreadSweepResult, error) {
 	const period = 2048
 	const auxPages = 16
-	res := &ThreadSweepResult{Period: period, AuxPages: auxPages}
+	var threadCounts []int
 	for _, threads := range Fig10Threads {
-		if threads > sc.Cores {
-			continue
+		if threads <= sc.Cores {
+			threadCounts = append(threadCounts, threads)
 		}
-		w, err := sc.workloadFor("stream", threads)
-		if err != nil {
-			return nil, err
+	}
+
+	var scs []engine.Scenario
+	for _, threads := range threadCounts {
+		scs = append(scs, sc.baselineScenario("stream", threads))
+		for t := 0; t < sc.Trials; t++ {
+			scs = append(scs, sc.scenario(
+				fmt.Sprintf("stream/threads=%d/trial=%d", threads, t),
+				"stream", threads, sc.fig10Config(period, auxPages, t)))
 		}
-		m := machine.New(sc.specFor())
-		base, err := baselineWall(m, w)
-		if err != nil {
-			return nil, err
-		}
+	}
+	profs, err := engine.Profiles(sc.runner().RunAll(scs))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ThreadSweepResult{Period: period, AuxPages: auxPages}
+	next := 0
+	for _, threads := range threadCounts {
+		base := profs[next].Wall
+		next++
 		pt := ThreadPoint{Threads: threads}
 		var acc, ovh, coll, hw, trunc []float64
 		for t := 0; t < sc.Trials; t++ {
-			cfg := sc.samplingConfig(period, t)
-			cfg.AuxPages = auxPages
-			cfg.RingPages = 8
-			// A low watermark keeps wakeups (and hence interrupt +
-			// monitor-interference costs) visible as per-core record
-			// rates shrink with the thread count.
-			cfg.AuxWatermarkBytes = 2048
-			tr, err := runTrial(m, w, cfg, base)
-			if err != nil {
-				return nil, err
-			}
+			tr := evalTrial(profs[next], scs[next].Config, base)
+			next++
 			acc = append(acc, tr.accuracy)
 			ovh = append(ovh, tr.overhead)
 			coll = append(coll, float64(tr.collisions))

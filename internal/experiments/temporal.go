@@ -5,7 +5,7 @@ import (
 
 	"nmo/internal/analysis"
 	"nmo/internal/core"
-	"nmo/internal/machine"
+	"nmo/internal/engine"
 	"nmo/internal/trace"
 	"nmo/internal/workloads"
 )
@@ -27,21 +27,23 @@ type TemporalResult struct {
 	WallSec        float64
 }
 
-// CloudTemporal profiles a CloudSuite workload ("pagerank" or
-// "inmem") with the temporal collectors, reproducing Figs. 2–3.
-func CloudTemporal(sc Scale, name string) (*TemporalResult, error) {
+// CloudScenario builds the engine scenario for a CloudSuite workload
+// ("pagerank" or "inmem") under the temporal collectors, on the
+// scaled-clock machine.
+func CloudScenario(sc Scale, name string) (engine.Scenario, error) {
 	spec := sc.cloudSpec()
-	var w *workloads.PhaseWorkload
+	var build func() *workloads.PhaseWorkload
 	switch name {
 	case "pagerank":
-		w = workloads.NewPageRank(spec.Freq, sc.Seed)
+		build = func() *workloads.PhaseWorkload {
+			return workloads.NewPageRank(spec.Freq, sc.Seed)
+		}
 	case "inmem":
-		w = workloads.NewInMemAnalytics(spec.Freq, sc.Seed)
+		build = func() *workloads.PhaseWorkload {
+			return workloads.NewInMemAnalytics(spec.Freq, sc.Seed)
+		}
 	default:
-		return nil, fmt.Errorf("experiments: unknown cloud workload %q", name)
-	}
-	if sc.CloudBlockBytes > 0 {
-		w.SetBlockBytes(sc.CloudBlockBytes)
+		return engine.Scenario{}, fmt.Errorf("experiments: unknown cloud workload %q", name)
 	}
 
 	cfg := core.DefaultConfig()
@@ -51,17 +53,34 @@ func CloudTemporal(sc Scale, name string) (*TemporalResult, error) {
 	cfg.IntervalSec = 1.0
 	cfg.Seed = sc.Seed
 
-	m := machine.New(spec)
-	s, err := core.NewSession(cfg, m)
+	return engine.Scenario{
+		Name:   "cloud/" + name,
+		Spec:   spec,
+		Config: cfg,
+		Workload: func() (workloads.Workload, error) {
+			w := build()
+			if sc.CloudBlockBytes > 0 {
+				w.SetBlockBytes(sc.CloudBlockBytes)
+			}
+			return w, nil
+		},
+	}, nil
+}
+
+// CloudTemporal profiles a CloudSuite workload ("pagerank" or
+// "inmem") with the temporal collectors, reproducing Figs. 2–3.
+func CloudTemporal(sc Scale, name string) (*TemporalResult, error) {
+	scen, err := CloudScenario(sc, name)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.Run(w)
+	p, err := engine.Run(scen)
 	if err != nil {
 		return nil, err
 	}
+	spec := sc.cloudSpec()
 	res := &TemporalResult{
-		Workload:       w.Name(),
+		Workload:       p.Workload,
 		Capacity:       p.Capacity,
 		Bandwidth:      p.Bandwidth,
 		PeakRSSGiB:     p.Capacity.Max(),
@@ -91,26 +110,19 @@ type RegionTraceResult struct {
 // tags, reproducing the scatter data of Fig. 4 (STREAM, 8 threads),
 // Fig. 5 (CFD, 1 thread) and Fig. 6 (CFD, 32 threads, high-res).
 func RegionTrace(sc Scale, workload string, threads int, timeBins, addrBins int) (*RegionTraceResult, error) {
-	w, err := sc.workloadFor(workload, threads)
-	if err != nil {
-		return nil, err
-	}
-	m := machine.New(sc.specFor())
 	cfg := sc.samplingConfig(1024, 0)
 	cfg.Mode = core.ModeFull
 	cfg.TrackRSS = true
 	cfg.IntervalSec = 1e-4
-	s, err := core.NewSession(cfg, m)
-	if err != nil {
-		return nil, err
-	}
-	p, err := s.Run(w)
+	p, err := engine.Run(sc.scenario(
+		fmt.Sprintf("%s/regions/threads=%d", workload, threads),
+		workload, threads, cfg))
 	if err != nil {
 		return nil, err
 	}
 	p.Trace.SortByTime()
 	return &RegionTraceResult{
-		Workload: w.Name(),
+		Workload: p.Workload,
 		Threads:  threads,
 		Trace:    p.Trace,
 		Heatmap:  analysis.BuildHeatmap(p.Trace, timeBins, addrBins),
