@@ -208,8 +208,8 @@ func BenchmarkAblationJitter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		on := ablationProfile(b, func(c *nmo.Config, _ *nmo.MachineSpec) { c.Jitter = true })
 		off := ablationProfile(b, func(c *nmo.Config, _ *nmo.MachineSpec) { c.Jitter = false })
-		b.ReportMetric(float64(on.SPE.Processed), "samples-jitter-on")
-		b.ReportMetric(float64(off.SPE.Processed), "samples-jitter-off")
+		b.ReportMetric(float64(on.Sampler.Processed), "samples-jitter-on")
+		b.ReportMetric(float64(off.Sampler.Processed), "samples-jitter-off")
 	}
 }
 
@@ -222,8 +222,8 @@ func BenchmarkAblationDRAMTail(b *testing.B) {
 		without := ablationProfile(b, func(_ *nmo.Config, s *nmo.MachineSpec) {
 			s.DRAM.TailProb = -1
 		})
-		b.ReportMetric(float64(with.SPE.Collisions), "collisions-tail-on")
-		b.ReportMetric(float64(without.SPE.Collisions), "collisions-tail-off")
+		b.ReportMetric(float64(with.Sampler.Collisions), "collisions-tail-on")
+		b.ReportMetric(float64(without.Sampler.Collisions), "collisions-tail-off")
 	}
 }
 
@@ -389,4 +389,42 @@ func (s *countSink) WriteRecord(_ sim.Cycles, rec []byte) bool {
 
 func benchOp() isa.Op {
 	return isa.Op{Kind: isa.KindLoad, Addr: 0x10000, PC: 0x400000, Size: 8}
+}
+
+// --- Cross-backend (SPE vs PEBS) ---
+
+// backendProfile profiles STREAM on a backend's native platform.
+func backendProfile(b *testing.B, backend nmo.Backend) *nmo.Profile {
+	b.Helper()
+	spec := nmo.SpecForBackend(backend).WithCores(64)
+	cfg := nmo.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = nmo.ModeSample
+	cfg.Backend = backend
+	cfg.Period = 1024
+	cfg.PageBytes = 1024
+	cfg.AuxPages = 64
+	cfg.AuxWatermarkBytes = 4096
+	mach := nmo.NewMachine(spec)
+	w := nmo.NewStream(nmo.StreamConfig{Elems: 1_000_000, Threads: 32, Iters: 2})
+	p, err := nmo.Run(cfg, mach, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkBackendContrast runs the same workload through both
+// sampling backends and reports the mechanism split: SPE pays in
+// collisions, PEBS in shadowing skid — the cross-ISA claim of the
+// paper's §III in one metric row.
+func BenchmarkBackendContrast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spe := backendProfile(b, nmo.BackendSPE)
+		pebs := backendProfile(b, nmo.BackendPEBS)
+		b.ReportMetric(float64(spe.Sampler.Processed), "samples-spe")
+		b.ReportMetric(float64(pebs.Sampler.Processed), "samples-pebs")
+		b.ReportMetric(float64(spe.Sampler.Collisions), "collisions-spe")
+		b.ReportMetric(float64(pebs.Sampler.SkidTotal), "skidops-pebs")
+	}
 }

@@ -10,7 +10,9 @@
 // worker pool, bounded by -jobs. Cycle-level summaries print in
 // request order, followed by the phase-level (pagerank, inmem)
 // timelines; per-workload profiles stay bit-identical at any -jobs
-// value.
+// value. -backend (or NMO_BACKEND) selects the sampling backend and
+// with it the simulated platform: spe profiles on the ARM Altra,
+// pebs on the Intel Ice Lake part.
 //
 // It writes <NMO_NAME>.trace.csv, <NMO_NAME>.trace.bin and
 // <NMO_NAME>.{capacity,bandwidth}.csv next to the working directory
@@ -41,20 +43,30 @@ func main() {
 	cores := flag.Int("cores", 128, "machine cores")
 	seed := flag.Uint64("seed", 42, "workload/profiler seed")
 	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial)")
+	backend := flag.String("backend", "",
+		"sampling backend ("+nmo.SupportedBackends()+"); selects the machine ISA (default spe on ARM); overrides NMO_BACKEND")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend string) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
 	}
 	cfg.Seed = seed
+	if backend != "" {
+		// The parse error names every supported backend.
+		kind, err := nmo.ParseBackend(backend)
+		if err != nil {
+			return fmt.Errorf("-backend: %w", err)
+		}
+		cfg.Backend = kind
+	}
 	if !cfg.Enable {
 		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
 	}
@@ -73,8 +85,10 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 	multi := len(names) > 1
 
 	// Split the request into cycle-level scenarios (sharded across the
-	// engine pool) and phase-level CloudSuite timelines.
-	spec := nmo.AmpereAltraMax().WithCores(cores)
+	// engine pool) and phase-level CloudSuite timelines. The backend
+	// pins the platform: SPE profiles on the Altra, PEBS on the Ice
+	// Lake part.
+	spec := nmo.SpecForBackend(cfg.Backend).WithCores(cores)
 	var scenarios []engine.Scenario
 	var cloud []string
 	for _, name := range names {
@@ -150,16 +164,26 @@ func report1(prof *nmo.Profile, cfg nmo.Config, base string) error {
 			prof.MemAccesses, prof.BusAccesses, prof.ArithmeticIntensity())
 	}
 	if cfg.Mode.Sampling() {
-		fmt.Printf("SPE: %d selected, %d processed, %d collisions, %d truncated, %d invalid-skipped\n",
-			prof.SPE.Selected, prof.SPE.Processed, prof.SPE.Collisions,
-			prof.SPE.TruncatedHW, prof.SPE.SkippedInvalid)
+		label := strings.ToUpper(string(prof.Backend))
+		if label == "" {
+			label = "SPE"
+		}
+		fmt.Printf("%s: %d selected, %d processed, %d collisions, %d truncated, %d invalid-skipped\n",
+			label, prof.Sampler.Selected, prof.Sampler.Processed, prof.Sampler.Collisions,
+			prof.Sampler.TruncatedHW, prof.Sampler.SkippedInvalid)
+		if prof.Backend == nmo.BackendPEBS {
+			fmt.Printf("PEBS loss/skew: %d DS-dropped, %d kernel-truncated, mean skid %.2f ops\n",
+				prof.Sampler.Dropped, prof.Kernel.TruncatedRecords,
+				float64(prof.Sampler.SkidTotal)/float64(max(prof.Sampler.Selected, 1)))
+		}
 		fmt.Printf("Eq.(1) accuracy: %.2f%%\n",
-			100*nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, cfg.EffectivePeriod()))
+			100*nmo.Accuracy(prof.MemAccesses, prof.Sampler.Processed, cfg.EffectivePeriod()))
 		fmt.Printf("trace MD5: %x (%d samples stored)\n", prof.MD5, len(prof.Trace.Samples))
 
 		t := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
-		for name, n := range prof.Trace.CountByRegion() {
-			t.AddRow(name, n)
+		byRegion := prof.Trace.CountByRegion()
+		for _, name := range report.SortedKeys(byRegion) {
+			t.AddRow(name, byRegion[name])
 		}
 		if err := t.Render(os.Stdout); err != nil {
 			return err

@@ -4,6 +4,8 @@
 //	nmorepro -exp all            # everything (DefaultScale, minutes)
 //	nmorepro -exp fig8 -quick    # one artifact at reduced scale
 //	nmorepro -exp fig8 -jobs 4   # shard the sweep over 4 workers
+//	nmorepro -exp fig8 -backend pebs  # the sweep on Intel PEBS instead of ARM SPE
+//	nmorepro -exp xisa           # SPE-vs-PEBS cross-ISA contrast
 //	nmorepro -list               # show the experiment index
 //
 // Sweeps execute as scenario batches on the internal/engine worker
@@ -20,9 +22,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
+	"nmo"
 	"nmo/internal/experiments"
 	"nmo/internal/report"
 	"nmo/internal/trace"
@@ -45,14 +47,17 @@ var experimentIndex = []struct {
 	{"fig10", "Fig. 10: time overhead and accuracy vs thread count"},
 	{"fig11", "Fig. 11: sample collisions/throttling vs thread count"},
 	{"ext-bias", "Extension (§IX future work): code-position sampling bias, dither on/off"},
+	{"xisa", "Extension (§III, ref. [8]): SPE-vs-PEBS cross-ISA period sweep"},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (tab1,tab2,fig2..fig11,all)")
+	exp := flag.String("exp", "all", "experiment id (tab1,tab2,fig2..fig11,xisa,all)")
 	quick := flag.Bool("quick", false, "use the reduced QuickScale configuration")
 	csvDir := flag.String("csv", "", "directory for CSV series dumps (optional)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial; results identical)")
+	backend := flag.String("backend", "",
+		"sampling backend for the sweeps ("+nmo.SupportedBackends()+"; default spe on ARM)")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +72,19 @@ func main() {
 		sc = experiments.QuickScale()
 	}
 	sc.Jobs = *jobs
+	// -backend wins over the NMO_BACKEND environment variable.
+	if *backend == "" {
+		*backend = os.Getenv("NMO_BACKEND")
+	}
+	if *backend != "" {
+		kind, err := nmo.ParseBackend(*backend)
+		if err != nil {
+			// The parse error names every supported backend.
+			fmt.Fprintf(os.Stderr, "nmorepro: -backend: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Backend = kind
+	}
 	r := &runner{sc: sc, csvDir: *csvDir}
 
 	ids := strings.Split(*exp, ",")
@@ -113,6 +131,8 @@ func (r *runner) run(id string) error {
 		return r.fig1011(id)
 	case "ext-bias":
 		return r.extBias()
+	case "xisa":
+		return r.crossISA()
 	}
 	return fmt.Errorf("unknown experiment %q", id)
 }
@@ -185,10 +205,10 @@ func (r *runner) regionTrace(workload string, threads int, title string) error {
 		Title:   "Samples by tagged region / kernel",
 		Headers: []string{"tag", "samples"},
 	}
-	for _, name := range sortedKeys(res.ByRegion) {
+	for _, name := range report.SortedKeys(res.ByRegion) {
 		t.AddRow("region:"+name, res.ByRegion[name])
 	}
-	for _, name := range sortedKeys(res.ByKernel) {
+	for _, name := range report.SortedKeys(res.ByKernel) {
 		t.AddRow("kernel:"+name, res.ByKernel[name])
 	}
 	t.AddRow("locality(4KB)", fmt.Sprintf("%.3f", res.Locality))
@@ -316,6 +336,13 @@ func (r *runner) fig1011(id string) error {
 }
 
 func (r *runner) extBias() error {
+	if r.sc.Backend == nmo.BackendPEBS {
+		// Keep `-exp all -backend pebs` runnable: the dither ablation
+		// simply has no PEBS variant.
+		fmt.Println("ext-bias: skipped — PEBS has no interval dither to ablate (spe-only study)")
+		fmt.Println()
+		return nil
+	}
 	res, err := experiments.BiasStudy(r.sc)
 	if err != nil {
 		return err
@@ -334,6 +361,35 @@ func (r *runner) extBias() error {
 	return nil
 }
 
+func (r *runner) crossISA() error {
+	res, err := experiments.CrossBackendSweep(r.sc, "stream", experiments.Fig8Periods)
+	if err != nil {
+		return err
+	}
+	for _, run := range res.Runs {
+		t := &report.Table{
+			Title: fmt.Sprintf("Cross-ISA sweep [%s on %s/%s]: %s, %d threads",
+				strings.ToUpper(string(run.Backend)), run.Machine, run.Arch,
+				res.Workload, res.Threads),
+			Headers: []string{"period", "accuracy", "overhead",
+				"collisions(hw)", "dropped(DS/aux)", "skid(mean ops)"},
+		}
+		for _, pt := range run.Points {
+			t.AddRow(pt.Period,
+				report.MeanStd(pt.Accuracy),
+				report.Pct(pt.Overhead.Mean),
+				fmt.Sprintf("%.0f", pt.HWColl.Mean),
+				fmt.Sprintf("%.0f", pt.Dropped.Mean),
+				fmt.Sprintf("%.2f", pt.SkidMeanOps.Mean))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 func (r *runner) dumpCSV(name string, s *trace.Series) error {
 	if r.csvDir == "" {
 		return nil
@@ -347,13 +403,4 @@ func (r *runner) dumpCSV(name string, s *trace.Series) error {
 	}
 	defer f.Close()
 	return s.WriteCSV(f)
-}
-
-func sortedKeys(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -8,47 +8,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nmo"
 	"nmo/internal/report"
 )
 
+// options collects the CLI parameters (a struct so the golden test can
+// drive run directly).
+type options struct {
+	workload string
+	threads  int
+	elems    int
+	iters    int
+	cores    int
+	seed     uint64
+}
+
 func main() {
-	workload := flag.String("workload", "stream", "stream | cfd | bfs")
-	threads := flag.Int("threads", 32, "worker threads")
-	elems := flag.Int("elems", 2_000_000, "elements/nodes")
-	iters := flag.Int("iters", 2, "iterations (stream/cfd) or BFS sources")
-	cores := flag.Int("cores", 128, "machine cores")
-	seed := flag.Uint64("seed", 42, "workload seed")
+	var o options
+	flag.StringVar(&o.workload, "workload", "stream", "stream | cfd | bfs")
+	flag.IntVar(&o.threads, "threads", 32, "worker threads")
+	flag.IntVar(&o.elems, "elems", 2_000_000, "elements/nodes")
+	flag.IntVar(&o.iters, "iters", 2, "iterations (stream/cfd) or BFS sources")
+	flag.IntVar(&o.cores, "cores", 128, "machine cores")
+	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "nmostat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64) error {
+func run(out io.Writer, o options) error {
 	var w nmo.Workload
-	switch workload {
+	switch o.workload {
 	case "stream":
-		w = nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters})
+		w = nmo.NewStream(nmo.StreamConfig{Elems: o.elems, Threads: o.threads, Iters: o.iters})
 	case "cfd":
-		w = nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed})
+		w = nmo.NewCFD(nmo.CFDConfig{Elems: o.elems, Threads: o.threads, Iters: o.iters, Seed: o.seed})
 	case "bfs":
-		w = nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: iters, Seed: seed})
+		w = nmo.NewBFS(nmo.BFSConfig{Nodes: o.elems, Degree: 8, Threads: o.threads, Iters: o.iters, Seed: o.seed})
 	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		return fmt.Errorf("unknown workload %q", o.workload)
 	}
 
 	cfg := nmo.DefaultConfig()
 	cfg.Enable = true
 	cfg.Mode = nmo.ModeCounters
 	cfg.IntervalSec = 0 // counting only, no series
-	cfg.Seed = seed
+	cfg.Seed = o.seed
 
-	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(cores))
+	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(o.cores))
 	prof, err := nmo.Run(cfg, mach, w)
 	if err != nil {
 		return err
@@ -64,5 +77,5 @@ func run(workload string, threads, elems, iters, cores int, seed uint64) error {
 	t.AddRow("cycles (wall)", uint64(prof.Wall))
 	t.AddRow("seconds (simulated)", fmt.Sprintf("%.6f", prof.WallSec))
 	t.AddRow("arithmetic intensity", fmt.Sprintf("%.4f flops/B", prof.ArithmeticIntensity()))
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }

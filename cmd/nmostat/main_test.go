@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenStreamStat pins nmostat's exact output over a small canned
+// run: the simulation is deterministic, so the counter table is
+// reproducible byte for byte. Run with -update after an intentional
+// model change.
+func TestGoldenStreamStat(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		workload: "stream", threads: 4, elems: 20_000, iters: 2, cores: 8, seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stream_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{workload: "spec2017"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestStatDeterministicAcrossRuns guards the golden against hidden
+// run-to-run state: two identical invocations must render the same
+// bytes.
+func TestStatDeterministicAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		err := run(&buf, options{
+			workload: "bfs", threads: 2, elems: 5_000, iters: 2, cores: 4, seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Error("two identical nmostat runs rendered different output")
+	}
+}

@@ -48,10 +48,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc := nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, period)
+		acc := nmo.Accuracy(prof.MemAccesses, prof.Sampler.Processed, period)
 		ovh := nmo.Overhead(uint64(base.Wall), uint64(prof.Wall))
 		fmt.Printf("%-8d  %-10d  %-10.3f  %-12s  %d\n",
-			period, prof.SPE.Processed, acc,
-			fmt.Sprintf("%.3f%%", ovh*100), prof.SPE.Collisions)
+			period, prof.Sampler.Processed, acc,
+			fmt.Sprintf("%.3f%%", ovh*100), prof.Sampler.Collisions)
 	}
 }

@@ -36,10 +36,10 @@ func main() {
 	fmt.Printf("STREAM triad on %d threads: %.3f ms simulated\n",
 		prof.Threads, prof.WallSec*1e3)
 	fmt.Printf("exact mem accesses: %d | SPE samples processed: %d | Eq.(1) accuracy: %.1f%%\n",
-		prof.MemAccesses, prof.SPE.Processed,
-		100*nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, cfg.Period))
+		prof.MemAccesses, prof.Sampler.Processed,
+		100*nmo.Accuracy(prof.MemAccesses, prof.Sampler.Processed, cfg.Period))
 	fmt.Printf("SPE collisions: %d | truncated: %d | invalid packets skipped: %d\n",
-		prof.SPE.Collisions, prof.SPE.TruncatedHW, prof.SPE.SkippedInvalid)
+		prof.Sampler.Collisions, prof.Sampler.TruncatedHW, prof.Sampler.SkippedInvalid)
 	fmt.Printf("peak bandwidth: %.1f GiB/s | peak RSS: %.2f GiB\n",
 		prof.Bandwidth.Max(), prof.Capacity.Max())
 

@@ -37,7 +37,7 @@ func fullPipelineProfile(t *testing.T, seed uint64) *nmo.Profile {
 // valid or a skipped record.
 func TestSampleConservation(t *testing.T) {
 	p := fullPipelineProfile(t, 7)
-	s := p.SPE
+	s := p.Sampler
 
 	if s.Selected == 0 {
 		t.Fatal("no samples selected")
@@ -109,7 +109,7 @@ func TestEndToEndDeterminism(t *testing.T) {
 	if a.MD5 != b.MD5 {
 		t.Error("MD5 differs across identical runs")
 	}
-	if a.Wall != b.Wall || a.SPE != b.SPE || a.Kernel != b.Kernel {
+	if a.Wall != b.Wall || a.Sampler != b.Sampler || a.Kernel != b.Kernel {
 		t.Error("stats differ across identical runs")
 	}
 	c := fullPipelineProfile(t, 100)
@@ -174,7 +174,7 @@ func TestAccuracyBandAcrossSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		accs = append(accs, nmo.Accuracy(p.MemAccesses, p.SPE.Processed, cfg.Period))
+		accs = append(accs, nmo.Accuracy(p.MemAccesses, p.Sampler.Processed, cfg.Period))
 	}
 	for i, a := range accs {
 		if a < 0.85 {

@@ -2,8 +2,10 @@
 // (the Table I environment variables), the profiling session that
 // wires perf events onto the machine, the collectors for the three
 // profiling levels (temporal capacity, temporal bandwidth, memory
-// region samples), and the SPE decode loop with its timescale
-// conversion and invalid-packet skipping (§III–IV of the paper).
+// region samples), and the backend-dispatched decode loop with its
+// timescale conversion and invalid-packet skipping (§III–IV of the
+// paper). Sampling runs on the architecture-neutral backend layer
+// (internal/sampler): SPE on arm64 machines, PEBS on x86_64.
 package core
 
 import (
@@ -11,7 +13,9 @@ import (
 	"strconv"
 	"strings"
 
+	"nmo/internal/isa"
 	"nmo/internal/perfev"
+	"nmo/internal/sampler"
 )
 
 // Mode selects what the profiler collects, the NMO_MODE setting.
@@ -24,7 +28,8 @@ const (
 	// ModeCounters collects the temporal metrics (capacity +
 	// bandwidth) from plain counting events.
 	ModeCounters
-	// ModeSample adds ARM SPE memory-access sampling.
+	// ModeSample adds precise memory-access sampling on the machine's
+	// backend (ARM SPE or Intel PEBS).
 	ModeSample
 	// ModeFull collects everything.
 	ModeFull
@@ -76,7 +81,16 @@ type Config struct {
 	Name string
 	// Mode is the collection mode (NMO_MODE, default none).
 	Mode Mode
-	// Period is the SPE sampling period (NMO_PERIOD, default 0 =>
+	// Backend selects the sampling backend (NMO_BACKEND: "spe" or
+	// "pebs"; default empty = follow the machine's architecture, the
+	// paper's "SPE when compiling for ARM and PEBS for Intel").
+	Backend sampler.Kind
+	// Arch, when set (NMO_ARCH: "arm64" or "x86_64"), asserts the
+	// target architecture: a session whose machine has a different
+	// ISA refuses to run, pinning a scenario to one (ISA × backend)
+	// grid point.
+	Arch string
+	// Period is the sampling period (NMO_PERIOD, default 0 =>
 	// sampling disabled unless the mode demands it, then 4096).
 	Period uint64
 	// TrackRSS enables working-set capture (NMO_TRACK_RSS, default
@@ -87,8 +101,9 @@ type Config struct {
 	// AuxMiB is the aux buffer size in MiB (NMO_AUXBUFSIZE, default 1).
 	AuxMiB int
 
-	// RingPages / AuxPages override the MiB sizes with exact 64 KB
-	// page counts; the paper's Fig. 9 sweep is specified in pages.
+	// RingPages / AuxPages override the MiB sizes with exact page
+	// counts (in the kernel's mmap page size); the paper's Fig. 9
+	// sweep is specified in pages.
 	RingPages int
 	AuxPages  int
 	// SampleLoads / SampleStores select the SPE operation filter;
@@ -107,8 +122,9 @@ type Config struct {
 	MaxSamples int
 	// Seed drives SPE dither and any randomized decisions.
 	Seed uint64
-	// PageBytes overrides the perf mmap page size (0 = the testbed's
-	// 64 KB). The scaled-down buffer experiments shrink pages together
+	// PageBytes overrides the perf mmap page size (0 = the machine's
+	// native page size: 64 KB on the ARM testbed, 4 KB on the x86
+	// part). The scaled-down buffer experiments shrink pages together
 	// with run lengths (EXPERIMENTS.md).
 	PageBytes int
 	// AuxWatermarkBytes overrides the aux wakeup watermark (0 = half
@@ -140,10 +156,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// pagesOf converts a MiB setting to 64 KB pages, clamped to a power of
-// two (mmap requirement).
-func pagesOf(mib int) int {
-	pages := mib * 16
+// pagesOf converts a MiB setting to pages of the given size, clamped
+// down to a power of two (mmap requirement). pageBytes <= 0 means the
+// ARM testbed's 64 KB pages.
+func pagesOf(mib, pageBytes int) int {
+	if pageBytes <= 0 {
+		pageBytes = 64 << 10
+	}
+	pages := mib << 20 / pageBytes
 	if pages < 1 {
 		pages = 1
 	}
@@ -157,19 +177,23 @@ func pagesOf(mib int) int {
 
 // EffectiveRingPages returns the data-page count for the perf ring
 // (the paper's "(N+1) pages" mmap maps N data pages plus metadata).
-func (c Config) EffectiveRingPages() int {
+// pageBytes is the kernel's mmap page size, so the MiB-denominated
+// NMO_BUFSIZE yields the same byte size on any platform (64 KB pages
+// on the Altra, 4 KB on the Ice Lake part); pass 0 for 64 KB.
+func (c Config) EffectiveRingPages(pageBytes int) int {
 	if c.RingPages > 0 {
 		return c.RingPages
 	}
-	return pagesOf(c.BufMiB)
+	return pagesOf(c.BufMiB, pageBytes)
 }
 
-// EffectiveAuxPages returns the aux-area page count.
-func (c Config) EffectiveAuxPages() int {
+// EffectiveAuxPages returns the aux-area page count; pageBytes as for
+// EffectiveRingPages.
+func (c Config) EffectiveAuxPages(pageBytes int) int {
 	if c.AuxPages > 0 {
 		return c.AuxPages
 	}
-	return pagesOf(c.AuxMiB)
+	return pagesOf(c.AuxMiB, pageBytes)
 }
 
 // EffectivePeriod returns the sampling period, applying the default
@@ -181,10 +205,40 @@ func (c Config) EffectivePeriod() uint64 {
 	return 4096
 }
 
+// EffectiveBackend resolves the sampling backend for a machine of the
+// given architecture: an explicit Backend wins; otherwise the
+// architecture's native backend is used (SPE on arm64, PEBS on
+// x86_64).
+func (c Config) EffectiveBackend(arch string) sampler.Kind {
+	if c.Backend != "" {
+		return c.Backend
+	}
+	if arch == isa.ArchX86 {
+		return sampler.KindPEBS
+	}
+	return sampler.KindSPE
+}
+
 // Validate rejects configurations the profiler cannot honour.
 func (c Config) Validate() error {
-	if c.Mode.Sampling() && c.EffectiveAuxPages() <= 0 {
+	if c.Backend != "" {
+		if _, err := sampler.For(c.Backend); err != nil {
+			return fmt.Errorf("core: %v", err)
+		}
+	}
+	if c.Arch != "" && c.Arch != isa.ArchARM64 && c.Arch != isa.ArchX86 {
+		return fmt.Errorf("core: unknown NMO_ARCH %q (supported: %s, %s)",
+			c.Arch, isa.ArchARM64, isa.ArchX86)
+	}
+	if c.Mode.Sampling() && c.EffectiveAuxPages(0) <= 0 {
 		return fmt.Errorf("core: sampling requires an aux buffer")
+	}
+	if c.Mode.Sampling() && !c.SampleLoads && !c.SampleStores {
+		// Enforced uniformly here: SPE would reject the empty filter
+		// at perf_event_open, but PEBS has no equivalent check (its
+		// raw event always names a population) and would silently
+		// sample everything.
+		return fmt.Errorf("core: sampling selects no operation classes (loads/stores both off)")
 	}
 	if c.IntervalSec < 0 {
 		return fmt.Errorf("core: negative interval %v", c.IntervalSec)
@@ -212,6 +266,17 @@ func FromEnv(getenv func(string) string) (Config, error) {
 			return c, err
 		}
 		c.Mode = m
+	}
+	if v := getenv("NMO_BACKEND"); v != "" {
+		k, err := sampler.ParseKind(v)
+		if err != nil {
+			return c, fmt.Errorf("core: bad NMO_BACKEND %q (supported: %s)",
+				v, sampler.SupportedList())
+		}
+		c.Backend = k
+	}
+	if v := getenv("NMO_ARCH"); v != "" {
+		c.Arch = strings.ToLower(strings.TrimSpace(v))
 	}
 	if v := getenv("NMO_PERIOD"); v != "" {
 		p, err := strconv.ParseUint(v, 10, 64)

@@ -98,18 +98,18 @@ func TestModePredicatesAndString(t *testing.T) {
 
 func TestEffectiveSizes(t *testing.T) {
 	c := DefaultConfig()
-	if c.EffectiveRingPages() != 16 || c.EffectiveAuxPages() != 16 {
+	if c.EffectiveRingPages(0) != 16 || c.EffectiveAuxPages(0) != 16 {
 		t.Errorf("1 MiB should be 16 pages: %d/%d",
-			c.EffectiveRingPages(), c.EffectiveAuxPages())
+			c.EffectiveRingPages(0), c.EffectiveAuxPages(0))
 	}
 	c.RingPages, c.AuxPages = 8, 2048
-	if c.EffectiveRingPages() != 8 || c.EffectiveAuxPages() != 2048 {
+	if c.EffectiveRingPages(0) != 8 || c.EffectiveAuxPages(0) != 2048 {
 		t.Error("page overrides ignored")
 	}
 	c = DefaultConfig()
 	c.AuxMiB = 3 // 48 pages -> round down to 32
-	if c.EffectiveAuxPages() != 32 {
-		t.Errorf("3 MiB -> %d pages, want 32", c.EffectiveAuxPages())
+	if c.EffectiveAuxPages(0) != 32 {
+		t.Errorf("3 MiB -> %d pages, want 32", c.EffectiveAuxPages(0))
 	}
 	if c.EffectivePeriod() != 4096 {
 		t.Errorf("default period = %d", c.EffectivePeriod())
@@ -164,7 +164,7 @@ func TestSessionSamplingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.SPE.Processed == 0 {
+	if p.Sampler.Processed == 0 {
 		t.Fatal("no samples processed")
 	}
 	if len(p.Trace.Samples) == 0 {
@@ -175,11 +175,11 @@ func TestSessionSamplingEndToEnd(t *testing.T) {
 	if p.MemAccesses == 0 {
 		t.Fatal("mem_access counter empty")
 	}
-	est := float64(p.SPE.Processed) * 500
+	est := float64(p.Sampler.Processed) * 500
 	ratio := est / float64(p.MemAccesses)
 	if ratio < 0.7 || ratio > 1.2 {
 		t.Errorf("estimator ratio = %.3f (processed=%d mem=%d)",
-			ratio, p.SPE.Processed, p.MemAccesses)
+			ratio, p.Sampler.Processed, p.MemAccesses)
 	}
 	// STREAM: loads of b/c, stores of a; regions must attribute.
 	byRegion := p.Trace.CountByRegion()
@@ -236,7 +236,7 @@ func TestSessionCountersMode(t *testing.T) {
 	if len(p.Trace.Samples) != 0 {
 		t.Error("counters mode produced samples")
 	}
-	if p.SPE.Selected != 0 {
+	if p.Sampler.Selected != 0 {
 		t.Error("SPE active in counters mode")
 	}
 }
@@ -285,8 +285,8 @@ func TestSessionDeterministic(t *testing.T) {
 	if a.MD5 != b.MD5 {
 		t.Error("traces differ across identical runs")
 	}
-	if a.Wall != b.Wall || a.SPE.Processed != b.SPE.Processed {
-		t.Errorf("stats differ: %+v vs %+v", a.SPE, b.SPE)
+	if a.Wall != b.Wall || a.Sampler.Processed != b.Sampler.Processed {
+		t.Errorf("stats differ: %+v vs %+v", a.Sampler, b.Sampler)
 	}
 }
 
@@ -310,8 +310,8 @@ func TestSessionMaxSamplesBounds(t *testing.T) {
 	if len(p.Trace.Samples) > 100 {
 		t.Errorf("stored %d samples, cap 100", len(p.Trace.Samples))
 	}
-	if p.SPE.Processed <= 100 {
-		t.Errorf("processed %d; cap must not limit processing", p.SPE.Processed)
+	if p.Sampler.Processed <= 100 {
+		t.Errorf("processed %d; cap must not limit processing", p.Sampler.Processed)
 	}
 }
 
@@ -324,13 +324,13 @@ func TestSessionCollisionsAtSmallPeriod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.SPE.Collisions == 0 {
+	if p.Sampler.Collisions == 0 {
 		t.Error("no collisions at period 300 on a DRAM-bound workload")
 	}
 	if p.Kernel.FlaggedCollisions == 0 {
 		t.Error("no flagged collisions")
 	}
-	if p.SPE.SkippedInvalid == 0 {
+	if p.Sampler.SkippedInvalid == 0 {
 		t.Error("no invalid packets skipped (collision corruption)")
 	}
 }
@@ -354,5 +354,139 @@ func TestArithmeticIntensity(t *testing.T) {
 	empty := &Profile{}
 	if empty.ArithmeticIntensity() != 0 {
 		t.Error("empty AI not zero")
+	}
+}
+
+// ---- Architecture-neutral backend dispatch ----
+
+func x86Machine(cores int) *machine.Machine {
+	return machine.New(machine.IntelIceLakeSP().WithCores(cores))
+}
+
+func TestFromEnvBackendAndArch(t *testing.T) {
+	c, err := FromEnv(envOf(map[string]string{
+		"NMO_BACKEND": "pebs",
+		"NMO_ARCH":    "x86_64",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend != "pebs" || c.Arch != "x86_64" {
+		t.Errorf("backend/arch = %v/%v", c.Backend, c.Arch)
+	}
+	if _, err := FromEnv(envOf(map[string]string{"NMO_BACKEND": "ibs"})); err == nil {
+		t.Error("bad NMO_BACKEND accepted")
+	}
+}
+
+func TestEffectiveBackendFollowsArch(t *testing.T) {
+	c := DefaultConfig()
+	if c.EffectiveBackend("arm64") != "spe" || c.EffectiveBackend("x86_64") != "pebs" {
+		t.Error("backend auto-selection does not follow the machine ISA")
+	}
+	c.Backend = "spe"
+	if c.EffectiveBackend("x86_64") != "spe" {
+		t.Error("explicit backend not honoured")
+	}
+}
+
+// TestSessionPEBSEndToEnd is the x86 twin of the SPE end-to-end test:
+// the same workload on the Ice Lake platform must produce attributed
+// samples through the PEBS decode path, with zero SPE collisions.
+func TestSessionPEBSEndToEnd(t *testing.T) {
+	s, err := NewSession(sampleConfig(500), x86Machine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.NewStream(workloads.StreamConfig{Elems: 50_000, Threads: 4, Iters: 4})
+	p, err := s.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Backend != "pebs" {
+		t.Fatalf("backend = %q, want pebs (auto-selected from x86 spec)", p.Backend)
+	}
+	if p.Sampler.Processed == 0 || len(p.Trace.Samples) == 0 {
+		t.Fatal("no PEBS samples decoded")
+	}
+	if p.Sampler.Collisions != 0 || p.Sampler.Corrupted != 0 {
+		t.Errorf("PEBS profile carries SPE mechanisms: %+v", p.Sampler)
+	}
+	// PEBS counts the memory population directly: period 500 retired
+	// memory instructions per sample, so Eq. (1) holds tightly.
+	est := float64(p.Sampler.Processed) * 500
+	ratio := est / float64(p.MemAccesses)
+	if ratio < 0.7 || ratio > 1.2 {
+		t.Errorf("estimator ratio = %.3f (processed=%d mem=%d)",
+			ratio, p.Sampler.Processed, p.MemAccesses)
+	}
+	byRegion := p.Trace.CountByRegion()
+	for _, r := range []string{"a", "b", "c"} {
+		if byRegion[r] == 0 {
+			t.Errorf("region %q has no samples: %v", r, byRegion)
+		}
+	}
+}
+
+func TestSessionBackendArchMismatch(t *testing.T) {
+	cfg := sampleConfig(500)
+	cfg.Backend = "spe"
+	s, err := NewSession(cfg, x86Machine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.NewStream(workloads.StreamConfig{Elems: 5000, Threads: 2, Iters: 1})
+	if _, err := s.Run(w); err == nil {
+		t.Fatal("SPE on an x86 machine did not error")
+	}
+
+	cfg = sampleConfig(500)
+	cfg.Backend = "pebs"
+	s, err = NewSession(cfg, testMachine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(w); err == nil {
+		t.Fatal("PEBS on an ARM machine did not error")
+	}
+}
+
+func TestSessionArchAssertion(t *testing.T) {
+	cfg := sampleConfig(500)
+	cfg.Arch = "x86_64"
+	s, err := NewSession(cfg, testMachine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.NewStream(workloads.StreamConfig{Elems: 5000, Threads: 2, Iters: 1})
+	if _, err := s.Run(w); err == nil {
+		t.Fatal("NMO_ARCH mismatch did not error")
+	}
+	cfg.Arch = "riscv"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown NMO_ARCH accepted")
+	}
+}
+
+func TestValidateRejectsEmptySamplePopulation(t *testing.T) {
+	// Uniform across backends: SPE would fail at perf_event_open, PEBS
+	// would silently sample everything — the config layer rejects both.
+	cfg := sampleConfig(500)
+	cfg.SampleLoads, cfg.SampleStores = false, false
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("empty sample population accepted")
+	}
+}
+
+func TestPEBSRejectsMinLatencyFilter(t *testing.T) {
+	cfg := sampleConfig(500)
+	cfg.MinLatencyFilter = 200
+	s, err := NewSession(cfg, x86Machine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.NewStream(workloads.StreamConfig{Elems: 5000, Threads: 2, Iters: 1})
+	if _, err := s.Run(w); err == nil {
+		t.Fatal("PEBS accepted the SPE-only latency filter")
 	}
 }

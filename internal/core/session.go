@@ -7,23 +7,27 @@ import (
 	"nmo/internal/isa"
 	"nmo/internal/machine"
 	"nmo/internal/perfev"
+	"nmo/internal/sampler"
 	"nmo/internal/sim"
-	"nmo/internal/spepkt"
 	"nmo/internal/trace"
 	"nmo/internal/workloads"
 	"nmo/internal/xrand"
 )
 
-// SPEAgg aggregates SPE hardware-unit counters plus the decode-side
-// outcomes across all cores of a run.
-type SPEAgg struct {
+// SamplerAgg aggregates sampling-unit counters plus the decode-side
+// outcomes across all cores of a run. The counters are backend-
+// neutral: mechanism-specific fields stay zero on the backend without
+// the mechanism (Collisions on PEBS; Dropped and SkidTotal on SPE).
+type SamplerAgg struct {
 	OpsSeen     uint64
 	Selected    uint64
-	Collisions  uint64 // hardware tracking-slot collisions
+	Collisions  uint64 // SPE hardware tracking-slot collisions
 	Filtered    uint64
 	Emitted     uint64
 	TruncatedHW uint64 // records dropped at the aux buffer
 	Corrupted   uint64
+	Dropped     uint64 // PEBS records lost to DS-buffer overflow
+	SkidTotal   uint64 // PEBS accumulated shadowing skid (ops)
 	// Processed counts records the decoder accepted — the "samples"
 	// term of the paper's Eq. (1).
 	Processed uint64
@@ -66,8 +70,11 @@ type Profile struct {
 	// Flops counts floating-point operations (arithmetic intensity).
 	Flops  uint64
 	MaxRSS uint64
-	SPE    SPEAgg
-	Kernel KernelAgg
+	// Backend is the sampling backend that produced the trace (empty
+	// when sampling was disabled).
+	Backend sampler.Kind
+	Sampler SamplerAgg
+	Kernel  KernelAgg
 	// MD5 is the trace checksum (NMO hashes its sample trace).
 	MD5 [16]byte
 }
@@ -132,11 +139,12 @@ type run struct {
 	regionIndex   map[string]int16
 
 	// Event plumbing (setupEvents; nil when profiling is disabled).
-	ts        sim.Timescale
-	kern      *perfev.Kernel
-	memEvents []*perfev.Event
-	busEvents []*perfev.Event
-	speEvents []*perfev.Event
+	ts         sim.Timescale
+	kern       *perfev.Kernel
+	memEvents  []*perfev.Event
+	busEvents  []*perfev.Event
+	sampEvents []*perfev.Event
+	decoder    sampler.Decoder
 
 	// Tagged-phase windows (setupMarkers/execute).
 	windows []kernelWindow
@@ -189,6 +197,10 @@ func (s *Session) prepare(w workloads.Workload) (*run, error) {
 		return nil, fmt.Errorf("core: workload wants %d threads, machine has %d cores",
 			threads, spec.Cores)
 	}
+	if s.cfg.Arch != "" && s.cfg.Arch != spec.Arch {
+		return nil, fmt.Errorf("core: NMO_ARCH %q does not match the machine (%s, %s)",
+			s.cfg.Arch, spec.Name, spec.Arch)
+	}
 
 	prof := &Profile{Workload: w.Name(), Threads: threads}
 	regions := w.Regions()
@@ -224,10 +236,11 @@ func (r *run) teardown() {
 	r.s.mach.SetMarkerFunc(nil)
 }
 
-// setupEvents opens the counting events (exact mem_access on every
-// active core — the perf-stat denominator — plus bus_access for
-// bandwidth) and, in sampling modes, the per-core SPE events with
-// their ring/aux mappings and decode callbacks.
+// setupEvents opens the counting events (exact memory-access counts
+// on every active core — the perf-stat denominator — plus a bus/LLC
+// counter for bandwidth, using each ISA's event codes) and, in
+// sampling modes, the per-core sampling events of the configured
+// backend with their ring/aux mappings and decode callbacks.
 func (r *run) setupEvents() error {
 	cfg := &r.s.cfg
 	if !cfg.Enable {
@@ -236,19 +249,23 @@ func (r *run) setupEvents() error {
 
 	r.ts = sim.TimescaleFor(r.spec.Freq, 1, 0)
 	r.kern = perfev.NewKernel(r.spec.Cores, cfg.Costs, r.ts, xrand.New(cfg.Seed))
-	if cfg.PageBytes > 0 {
-		r.kern.SetPageSize(cfg.PageBytes)
+	if pb := r.pageBytes(); pb > 0 {
+		r.kern.SetPageSize(pb)
 	}
 
+	memCode, busCode := perfev.RawMemAccess, perfev.RawBusAccess
+	if r.spec.Arch == isa.ArchX86 {
+		memCode, busCode = perfev.RawMemInstRetiredAny, perfev.RawLLCMiss
+	}
 	r.memEvents = make([]*perfev.Event, r.threads)
 	r.busEvents = make([]*perfev.Event, r.threads)
 	for t := 0; t < r.threads; t++ {
 		var err error
-		r.memEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawMemAccess}, t)
+		r.memEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: memCode}, t)
 		if err != nil {
 			return err
 		}
-		r.busEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: perfev.RawBusAccess}, t)
+		r.busEvents[t], err = r.kern.Open(&perfev.Attr{Type: perfev.TypeRaw, Config: busCode}, t)
 		if err != nil {
 			return err
 		}
@@ -262,6 +279,90 @@ func (r *run) setupEvents() error {
 
 	if !cfg.Mode.Sampling() {
 		return nil
+	}
+	kind := cfg.EffectiveBackend(r.spec.Arch)
+	if kind.Arch() != r.spec.Arch {
+		return fmt.Errorf("core: backend %s requires %s hardware, machine %q is %s",
+			kind, kind.Arch(), r.spec.Name, r.spec.Arch)
+	}
+	if kind == sampler.KindPEBS && cfg.MinLatencyFilter > 0 {
+		// SPE's PMSLATFR has no PEBS equivalent in this model; honoring
+		// the same config on both backends would silently compare a
+		// latency-filtered SPE population against an unfiltered PEBS
+		// one, so the combination is rejected instead of ignored.
+		return fmt.Errorf("core: MinLatencyFilter is SPE-only (no PEBS latency filter)")
+	}
+	backend, err := sampler.For(kind)
+	if err != nil {
+		return fmt.Errorf("core: %v", err)
+	}
+	r.decoder = backend.NewDecoder()
+	r.prof.Backend = kind
+	attr := r.samplingAttr(kind)
+	for t := 0; t < r.threads; t++ {
+		ev, err := r.kern.Open(attr, t)
+		if err != nil {
+			return err
+		}
+		if err := ev.MmapRing(cfg.EffectiveRingPages(r.pageBytes())); err != nil {
+			return err
+		}
+		if err := ev.MmapAux(cfg.EffectiveAuxPages(r.pageBytes())); err != nil {
+			return err
+		}
+		core := int16(t)
+		ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
+			r.decodeSpan(core, span)
+		})
+		if err := r.s.mach.AttachProbe(t, ev); err != nil {
+			return err
+		}
+		r.sampEvents = append(r.sampEvents, ev)
+	}
+	return nil
+}
+
+// pageBytes resolves the perf mmap page size: an explicit config
+// override wins, else the machine's native page size (64 KB on the
+// Altra, 4 KB on the Ice Lake part).
+func (r *run) pageBytes() int {
+	if r.s.cfg.PageBytes > 0 {
+		return r.s.cfg.PageBytes
+	}
+	return r.spec.PageBytes
+}
+
+// samplingAttr builds the perf attribute for the chosen backend: the
+// arm_spe_pmu config-bit layout on arm64, a precise MEM_INST_RETIRED
+// raw event on x86_64.
+func (r *run) samplingAttr(kind sampler.Kind) *perfev.Attr {
+	cfg := &r.s.cfg
+	if kind == sampler.KindPEBS {
+		code := perfev.RawMemInstRetiredAny
+		switch {
+		case cfg.SampleLoads && !cfg.SampleStores:
+			code = perfev.RawMemInstRetiredAllLoads
+		case cfg.SampleStores && !cfg.SampleLoads:
+			code = perfev.RawMemInstRetiredAllStores
+		}
+		wm := cfg.AuxWatermarkBytes
+		if wm == 0 {
+			// SPE's kernel-side default is half the aux buffer; the
+			// PMI threshold must follow the same convention so wakeup
+			// cadence stays comparable across backends (the DS buffer
+			// grows to fit — sampler/pebs.go).
+			wm = uint32(cfg.EffectiveAuxPages(r.pageBytes()) * r.pageBytes() / 2)
+		}
+		return &perfev.Attr{
+			Type:         perfev.TypeRaw,
+			Config:       code,
+			SamplePeriod: cfg.EffectivePeriod(),
+			AuxWatermark: wm,
+			// precise_ip 1: PEBS with the hardware's inherent
+			// shadowing skid — the mechanism the cross-backend sweep
+			// contrasts against SPE collisions.
+			Precise: 1,
+		}
 	}
 	attr := &perfev.Attr{
 		Type:         perfev.TypeArmSPE,
@@ -279,53 +380,35 @@ func (r *run) setupEvents() error {
 	if cfg.Jitter {
 		attr.Config |= perfev.SPEJitter
 	}
-	for t := 0; t < r.threads; t++ {
-		ev, err := r.kern.Open(attr, t)
-		if err != nil {
-			return err
-		}
-		if err := ev.MmapRing(cfg.EffectiveRingPages()); err != nil {
-			return err
-		}
-		if err := ev.MmapAux(cfg.EffectiveAuxPages()); err != nil {
-			return err
-		}
-		core := int16(t)
-		ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
-			r.decodeSpan(core, span)
-		})
-		if err := r.s.mach.AttachProbe(t, ev); err != nil {
-			return err
-		}
-		r.speEvents = append(r.speEvents, ev)
-	}
-	return nil
+	return attr
 }
 
 // decodeSpan is the decode stage's hot path: it parses one drained aux
-// span and appends attributed samples to the trace. It runs inside
-// kernel wakeups during execute and again from drain for the residual
-// flush.
+// span with the backend's decoder and appends attributed samples to
+// the trace. It runs inside kernel wakeups during execute and again
+// from drain for the residual flush. The decoder already normalized
+// the record (PEBS IP skid is baked into PC, the data source is a
+// hierarchy level), so attribution is backend-free.
 func (r *run) decodeSpan(core int16, span []byte) {
 	cfg := &r.s.cfg
-	st := perfev.DecodeSpan(span, func(rec *spepkt.Record) {
-		r.prof.SPE.Processed++
+	st := r.decoder.DecodeSpan(span, func(s *sampler.Sample) {
+		r.prof.Sampler.Processed++
 		if len(r.prof.Trace.Samples) >= cfg.MaxSamples {
 			return
 		}
 		r.prof.Trace.Samples = append(r.prof.Trace.Samples, trace.Sample{
-			TimeNs: r.ts.ToNanos(rec.TS),
-			VA:     rec.VA,
-			PC:     rec.PC,
-			Lat:    rec.TotalLat,
+			TimeNs: r.ts.ToNanos(s.TS),
+			VA:     s.VA,
+			PC:     s.PC,
+			Lat:    s.Lat,
 			Core:   core,
-			Region: attributeRegion(r.sortedRegions, r.regionIndex, rec.VA),
+			Region: attributeRegion(r.sortedRegions, r.regionIndex, s.VA),
 			Kernel: -1, // attributed after the run
-			Store:  rec.IsStore(),
-			Level:  levelOfSource(rec.Source),
+			Store:  s.Store,
+			Level:  s.Level,
 		})
 	})
-	r.prof.SPE.SkippedInvalid += uint64(st.Skipped)
+	r.prof.Sampler.SkippedInvalid += uint64(st.Skipped)
 }
 
 // setupMarkers registers the annotation receiver that turns
@@ -428,7 +511,7 @@ func (r *run) drain() error {
 		return nil
 	}
 	r.inRunDrain = r.kern.DrainCycles()
-	for _, ev := range r.speEvents {
+	for _, ev := range r.sampEvents {
 		ev.FinalDrain(r.s.mach.Now())
 	}
 	return nil
@@ -473,15 +556,17 @@ func (r *run) aggregate() error {
 	for _, ev := range r.busEvents {
 		prof.BusAccesses += ev.ReadCount()
 	}
-	for _, ev := range r.speEvents {
-		u := ev.SPEStats()
-		prof.SPE.OpsSeen += u.OpsSeen
-		prof.SPE.Selected += u.Selected
-		prof.SPE.Collisions += u.Collisions
-		prof.SPE.Filtered += u.Filtered
-		prof.SPE.Emitted += u.Emitted
-		prof.SPE.TruncatedHW += u.Truncated
-		prof.SPE.Corrupted += u.Corrupted
+	for _, ev := range r.sampEvents {
+		u := ev.UnitStats()
+		prof.Sampler.OpsSeen += u.OpsSeen
+		prof.Sampler.Selected += u.Selected
+		prof.Sampler.Collisions += u.Collisions
+		prof.Sampler.Filtered += u.Filtered
+		prof.Sampler.Emitted += u.Emitted
+		prof.Sampler.TruncatedHW += u.Truncated
+		prof.Sampler.Corrupted += u.Corrupted
+		prof.Sampler.Dropped += u.Dropped
+		prof.Sampler.SkidTotal += u.SkidTotal
 		k := ev.Stats()
 		prof.Kernel.Wakeups += k.Wakeups
 		prof.Kernel.AuxRecords += k.AuxRecords
@@ -539,19 +624,4 @@ func attributeRegion(sorted []workloads.Region, index map[string]int16, va uint6
 		return index[sorted[i].Name]
 	}
 	return -1
-}
-
-// levelOfSource maps an SPE data-source payload back to a hierarchy
-// level index.
-func levelOfSource(src uint8) uint8 {
-	switch src {
-	case spepkt.SourceL1:
-		return 0
-	case spepkt.SourceL2:
-		return 1
-	case spepkt.SourceSLC:
-		return 2
-	default:
-		return 3
-	}
 }

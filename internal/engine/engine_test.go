@@ -54,7 +54,7 @@ func TestRunAllSubmissionOrderAndNames(t *testing.T) {
 		if r.Name != scs[i].Name {
 			t.Errorf("result %d name = %q, want %q", i, r.Name, scs[i].Name)
 		}
-		if r.Profile == nil || r.Profile.SPE.Processed == 0 {
+		if r.Profile == nil || r.Profile.Sampler.Processed == 0 {
 			t.Errorf("scenario %d produced no samples", i)
 		}
 	}
@@ -75,9 +75,56 @@ func TestRunAllDeterministicAcrossJobs(t *testing.T) {
 			t.Errorf("scenario %d: MD5 differs between jobs=1 and jobs=8", i)
 		}
 		if s.Profile.Wall != p.Profile.Wall ||
-			s.Profile.SPE != p.Profile.SPE ||
+			s.Profile.Sampler != p.Profile.Sampler ||
 			s.Profile.Kernel != p.Profile.Kernel {
 			t.Errorf("scenario %d: stats differ between jobs=1 and jobs=8", i)
+		}
+	}
+}
+
+// pebsScenario is testScenario pinned to the x86 platform and PEBS
+// backend.
+func pebsScenario(idx int) Scenario {
+	sc := testScenario(idx)
+	sc.Name = fmt.Sprintf("stream/pebs/%d", idx)
+	sc.Spec = machine.IntelIceLakeSP().WithCores(4)
+	sc.Config.Backend = "pebs"
+	return sc
+}
+
+// TestRunAllDeterministicAcrossJobsPEBS mirrors the SPE determinism
+// contract on the PEBS backend: identical checksums and aggregates at
+// jobs=1 and jobs=8, and the backend's structural invariants (no SPE
+// collisions; samples present) hold on every shard.
+func TestRunAllDeterministicAcrossJobsPEBS(t *testing.T) {
+	batch := func() []Scenario {
+		scs := make([]Scenario, 8)
+		for i := range scs {
+			scs[i] = pebsScenario(i)
+		}
+		return scs
+	}
+	serial := Runner{Jobs: 1}.RunAll(batch())
+	parallel := Runner{Jobs: 8}.RunAll(batch())
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("scenario %d errored: %v / %v", i, s.Err, p.Err)
+		}
+		if s.Profile.MD5 != p.Profile.MD5 {
+			t.Errorf("scenario %d: MD5 differs between jobs=1 and jobs=8", i)
+		}
+		if s.Profile.Wall != p.Profile.Wall ||
+			s.Profile.Sampler != p.Profile.Sampler ||
+			s.Profile.Kernel != p.Profile.Kernel {
+			t.Errorf("scenario %d: stats differ between jobs=1 and jobs=8", i)
+		}
+		if s.Profile.Sampler.Processed == 0 {
+			t.Errorf("scenario %d: no PEBS samples", i)
+		}
+		if s.Profile.Sampler.Collisions != 0 {
+			t.Errorf("scenario %d: PEBS reported %d SPE collisions",
+				i, s.Profile.Sampler.Collisions)
 		}
 	}
 }
@@ -171,7 +218,7 @@ func TestRunSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if prof.SPE.Processed == 0 {
+	if prof.Sampler.Processed == 0 {
 		t.Error("no samples")
 	}
 	// Run must agree with the same scenario through RunAll.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"nmo/internal/analysis"
 	"nmo/internal/engine"
+	"nmo/internal/sampler"
 )
 
 // BiasResult holds the §IX future-work study: sampling bias across
@@ -30,6 +33,14 @@ type BiasResult struct {
 // selects the same loop slot forever — in the extreme case a
 // non-memory slot, collecting no samples at all (bias 1.0).
 func BiasStudy(sc Scale) (*BiasResult, error) {
+	if sc.Backend == sampler.KindPEBS {
+		// PEBS has no interval dither to ablate: its counter reloads
+		// exactly, so "jitter on" and "jitter off" would run the same
+		// scenario twice and report a meaningless zero delta. (The
+		// PEBS phase-lock bias itself is the permanent condition —
+		// DESIGN.md §8.)
+		return nil, fmt.Errorf("experiments: the dither bias study requires the spe backend (pebs has no jitter)")
+	}
 	const period = 1000 // divisible by STREAM's 5 ops/element
 	// True memory-op PC mix: loads of b and c, store of a — one each
 	// per element at fixed code sites.

@@ -25,6 +25,7 @@ import (
 	"nmo/internal/engine"
 	"nmo/internal/machine"
 	"nmo/internal/perfev"
+	"nmo/internal/sampler"
 	"nmo/internal/sim"
 	"nmo/internal/workloads"
 )
@@ -61,6 +62,10 @@ type Scale struct {
 	// 0 uses every available CPU, 1 forces serial execution. Results
 	// are bit-identical at any value.
 	Jobs int
+	// Backend selects the sampling backend (and with it the machine
+	// ISA: SPE runs on the Altra spec, PEBS on the Ice Lake spec).
+	// Empty keeps the paper's default, SPE on ARM.
+	Backend sampler.Kind
 }
 
 // DefaultScale is the configuration used to produce EXPERIMENTS.md.
@@ -95,9 +100,15 @@ func QuickScale() Scale {
 	return s
 }
 
-// specFor builds the machine spec for cycle-level experiments.
+// specFor builds the machine spec for cycle-level experiments: the
+// backend pins the ISA, the ISA pins the platform. Core counts stay
+// comparable across backends so the grids line up.
 func (sc Scale) specFor() machine.Spec {
-	return machine.AmpereAltraMax().WithCores(sc.Cores)
+	kind := sc.Backend
+	if kind == "" {
+		kind = sampler.KindSPE
+	}
+	return machine.SpecForArch(kind.Arch()).WithCores(sc.Cores)
 }
 
 // cloudSpec builds the scaled-clock machine for the CloudSuite
@@ -180,12 +191,12 @@ type trialResult struct {
 // against the sweep's baseline wall time.
 func evalTrial(p *core.Profile, cfg core.Config, baseline sim.Cycles) trialResult {
 	return trialResult{
-		accuracy:   analysis.Accuracy(p.MemAccesses, p.SPE.Processed, cfg.EffectivePeriod()),
+		accuracy:   analysis.Accuracy(p.MemAccesses, p.Sampler.Processed, cfg.EffectivePeriod()),
 		overhead:   analysis.Overhead(baseline, p.Wall),
-		samples:    p.SPE.Processed,
+		samples:    p.Sampler.Processed,
 		collisions: p.Kernel.FlaggedCollisions,
-		hwColl:     p.SPE.Collisions,
-		truncated:  p.SPE.TruncatedHW + p.Kernel.TruncatedRecords,
+		hwColl:     p.Sampler.Collisions,
+		truncated:  p.Sampler.TruncatedHW + p.Sampler.Dropped + p.Kernel.TruncatedRecords,
 		profile:    p,
 	}
 }
@@ -196,6 +207,7 @@ func (sc Scale) samplingConfig(period uint64, trial int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Enable = true
 	cfg.Mode = core.ModeSample
+	cfg.Backend = sc.Backend
 	cfg.Period = period
 	cfg.PageBytes = sc.PageBytes
 	cfg.AuxWatermarkBytes = sc.WatermarkBytes

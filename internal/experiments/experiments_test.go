@@ -26,6 +26,8 @@ func TestTable1MatchesPaperDefaults(t *testing.T) {
 		"NMO_ENABLE":     "off",
 		"NMO_NAME":       `"nmo"`,
 		"NMO_MODE":       "none",
+		"NMO_BACKEND":    "auto (by machine ISA)",
+		"NMO_ARCH":       "any",
 		"NMO_PERIOD":     "0",
 		"NMO_TRACK_RSS":  "off",
 		"NMO_BUFSIZE":    "1",

@@ -5,6 +5,7 @@ import (
 
 	"nmo/internal/core"
 	"nmo/internal/machine"
+	"nmo/internal/sampler"
 )
 
 // EnvVarRow is one row of Table I.
@@ -25,10 +26,20 @@ func Table1EnvVars() []EnvVarRow {
 		}
 		return "off"
 	}
+	backend := string(d.Backend)
+	if backend == "" {
+		backend = "auto (by machine ISA)"
+	}
+	arch := d.Arch
+	if arch == "" {
+		arch = "any"
+	}
 	return []EnvVarRow{
 		{"NMO_ENABLE", "Enable profile collection", onOff(d.Enable)},
 		{"NMO_NAME", "Base name of output files", fmt.Sprintf("%q", d.Name)},
 		{"NMO_MODE", "Profile collection mode", d.Mode.String()},
+		{"NMO_BACKEND", "Sampling backend (" + sampler.SupportedList() + ")", backend},
+		{"NMO_ARCH", "Assert target architecture", arch},
 		{"NMO_PERIOD", "Sampling period", fmt.Sprintf("%d", d.Period)},
 		{"NMO_TRACK_RSS", "Capture working set size", onOff(d.TrackRSS)},
 		{"NMO_BUFSIZE", "Ring buffer size [MiB]", fmt.Sprintf("%d", d.BufMiB)},

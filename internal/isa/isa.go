@@ -14,6 +14,15 @@ package isa
 
 import "fmt"
 
+// Architecture names. The op model itself is architecture-neutral;
+// these strings pin a machine spec (and hence a scenario) to the ISA
+// whose sampling hardware it carries — SPE exists only on arm64, PEBS
+// only on x86_64.
+const (
+	ArchARM64 = "arm64"
+	ArchX86   = "x86_64"
+)
+
 // Kind classifies an operation.
 type Kind uint8
 

@@ -392,3 +392,30 @@ func TestNUMARemoteSlower(t *testing.T) {
 		t.Errorf("remote run (%d) not slower than local (%d)", numa, uma)
 	}
 }
+
+func TestIntelIceLakeSPSpec(t *testing.T) {
+	s := IntelIceLakeSP()
+	if s.Arch != isa.ArchX86 {
+		t.Errorf("arch = %q", s.Arch)
+	}
+	if s.PageBytes != 4<<10 {
+		t.Errorf("page = %d, want 4 KB", s.PageBytes)
+	}
+	// All cache geometries must construct (power-of-two set counts).
+	m := New(s.WithCores(2))
+	if m.Spec().Cores != 2 {
+		t.Errorf("cores = %d", m.Spec().Cores)
+	}
+}
+
+func TestSpecForArch(t *testing.T) {
+	if SpecForArch(isa.ArchX86).Name != IntelIceLakeSP().Name {
+		t.Error("x86 does not map to the Ice Lake part")
+	}
+	if SpecForArch(isa.ArchARM64).Name != AmpereAltraMax().Name {
+		t.Error("arm64 does not map to the Altra")
+	}
+	if SpecForArch("").Arch != isa.ArchARM64 {
+		t.Error("unknown arch must fall back to the ARM platform")
+	}
+}

@@ -18,6 +18,7 @@
 package machine
 
 import (
+	"nmo/internal/isa"
 	"nmo/internal/memsim"
 	"nmo/internal/sim"
 )
@@ -26,6 +27,11 @@ import (
 type Spec struct {
 	// Name identifies the platform in reports.
 	Name string
+	// Arch is the instruction-set architecture (isa.ArchARM64 /
+	// isa.ArchX86). It pins which sampling backend the platform
+	// carries: SPE exists only on arm64, PEBS only on x86_64, so a
+	// scenario is a (ISA × backend) point by construction.
+	Arch string
 	// Cores is the number of hardware threads.
 	Cores int
 	// Freq is the core clock.
@@ -60,6 +66,7 @@ type Spec struct {
 func AmpereAltraMax() Spec {
 	return Spec{
 		Name:       "ARM Ampere Altra Max 64-Bit (Neoverse V1-class)",
+		Arch:       isa.ArchARM64,
 		Cores:      128,
 		Freq:       sim.Freq{Hz: 3_000_000_000},
 		L1:         memsim.CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4},
@@ -88,6 +95,53 @@ func AmpereAltraMax() Spec {
 	}
 }
 
+// IntelIceLakeSP returns an Intel Xeon Platinum 8380 (Ice Lake-SP)
+// class platform: the x86 counterpart used for the SPE-vs-PEBS
+// cross-ISA contrasts (the paper's §III portability claim; the
+// SPE-vs-PEBS methodology of its ref. [8]). 40 cores at 2.3 GHz,
+// 48 KB L1d and 1.25 MB L2 per core, 60 MB shared LLC, 8-channel
+// DDR4-3200 (~205 GB/s peak), 4 KB pages.
+func IntelIceLakeSP() Spec {
+	return Spec{
+		Name:  "Intel Xeon Platinum 8380 (Ice Lake-SP)",
+		Arch:  isa.ArchX86,
+		Cores: 40,
+		Freq:  sim.Freq{Hz: 2_300_000_000},
+		L1:    memsim.CacheConfig{SizeBytes: 48 << 10, LineBytes: 64, Ways: 12},
+		L2:    memsim.CacheConfig{SizeBytes: 1280 << 10, LineBytes: 64, Ways: 20},
+		// The 8380's LLC is 60 MB; the model rounds to the nearest
+		// power-of-two set count (64 MB, 16-way).
+		SLC:        memsim.CacheConfig{SizeBytes: 64 << 20, LineBytes: 64, Ways: 16},
+		TLBEntries: 64,
+		PageBytes:  4 << 10,
+		DRAM: memsim.DRAMConfig{
+			BaseLatency: 140,
+			// ~205 GB/s at 2.3 GHz ≈ 89 bytes/cycle.
+			PeakBytesPerCycle: 89.0,
+			HideCycles:        1400,
+		},
+		Lat:              memsim.DefaultLatencies(),
+		MemCapacityBytes: 256 << 30,
+		// Sunny-Cove-class cores sustain a deep out-of-order miss
+		// window; MLP 20 lands per-core streaming bandwidth in the
+		// measured 12-15 GB/s range.
+		MLP:       20,
+		ROBWindow: 9_000,
+		Quantum:   256,
+	}
+}
+
+// SpecForArch returns the canonical platform of an ISA (isa.ArchARM64
+// → the Altra, isa.ArchX86 → the Ice Lake part). It is the single
+// backend-to-platform mapping: callers resolve a sampling backend to
+// its native arch and look the platform up here.
+func SpecForArch(arch string) Spec {
+	if arch == isa.ArchX86 {
+		return IntelIceLakeSP()
+	}
+	return AmpereAltraMax()
+}
+
 // WithCores returns a copy of the spec with a different core count
 // (thread-sweep experiments use subsets of the 128-core part).
 func (s Spec) WithCores(n int) Spec {
@@ -108,6 +162,9 @@ func (s Spec) WithFreq(hz uint64) Spec {
 // tests stay valid.
 func (s Spec) normalize() Spec {
 	d := AmpereAltraMax()
+	if s.Arch == "" {
+		s.Arch = d.Arch
+	}
 	if s.Cores == 0 {
 		s.Cores = d.Cores
 	}

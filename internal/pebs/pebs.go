@@ -147,8 +147,14 @@ func (c Config) withDefaults() Config {
 	if c.DSBytes == 0 {
 		c.DSBytes = 64 << 10
 	}
-	if c.PMIThreshold == 0 || c.PMIThreshold > c.DSBytes {
+	if c.PMIThreshold == 0 {
 		c.PMIThreshold = c.DSBytes * 7 / 8
+	}
+	if c.PMIThreshold > c.DSBytes {
+		// An explicitly programmed threshold sizes the buffer: grow
+		// the DS area (with headroom past the threshold) rather than
+		// silently clamping the PMI cadence.
+		c.DSBytes = c.PMIThreshold + c.PMIThreshold/8 + RecordSize
 	}
 	return c
 }
@@ -158,14 +164,19 @@ type Stats struct {
 	EventsSeen uint64 // population occurrences observed
 	Sampled    uint64 // counter overflows
 	Written    uint64 // records written to the DS buffer
-	Dropped    uint64 // records lost: DS buffer full awaiting PMI service
+	Dropped    uint64 // records lost: DS full awaiting PMI service, or overwritten while armed
 	PMIs       uint64 // interrupts raised
 	SkidTotal  uint64 // accumulated skid distance (ops)
 }
 
 // PMIHandler receives the DS buffer contents when the threshold
-// interrupt fires; returning the service cost in cycles.
-type PMIHandler func(now sim.Cycles, records []byte) sim.Cycles
+// interrupt fires. It returns the service cost in cycles and whether
+// the kernel took the interrupt: on accepted == false (the PMI is
+// still pended — e.g. the previous one is mid-service) the unit keeps
+// the DS contents, retries at the next capture, and — this being the
+// point — overflows the DS buffer if service stays unavailable, which
+// is where PEBS actually loses records.
+type PMIHandler func(now sim.Cycles, records []byte) (cost sim.Cycles, accepted bool)
 
 // Unit is one core's PEBS machinery.
 type Unit struct {
@@ -177,6 +188,9 @@ type Unit struct {
 	counter uint64
 	ds      []byte
 	dsUsed  int
+	// pmiPending marks a fired-but-unaccepted PMI: the DS is retained
+	// and service retried on later captures without recounting PMIs.
+	pmiPending bool
 
 	// pending skid: a sample armed, waiting for a later op's IP.
 	armed     bool
@@ -244,6 +258,13 @@ func (u *Unit) OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8) sim.Cyc
 	}
 	u.counter = u.cfg.Period
 	u.stats.Sampled++
+	if u.armed {
+		// The previous sample is still waiting out its skid window;
+		// the microcode tracks one capture at a time, so the older
+		// sample is lost. Counted as Dropped to keep the invariant
+		// Sampled == Written + Dropped (+ at most one still armed).
+		u.stats.Dropped++
+	}
 	// Arm a capture: record the memory operands now, the IP after the
 	// skid window.
 	u.armed = true
@@ -267,9 +288,17 @@ func (u *Unit) OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8) sim.Cyc
 // capture writes the armed record with ip, possibly firing the PMI.
 func (u *Unit) capture(now sim.Cycles, ip uint64) sim.Cycles {
 	u.armed = false
+	var cost sim.Cycles
+	if u.pmiPending && len(u.ds)+RecordSize > u.cfg.DSBytes {
+		// DS full behind a pended PMI: retry service first — the
+		// kernel may have finished the previous interrupt — so a
+		// finite service window causes transient loss, not a
+		// permanent stall.
+		cost += u.firePMI(now)
+	}
 	if len(u.ds)+RecordSize > u.cfg.DSBytes {
 		u.stats.Dropped++
-		return 0
+		return cost
 	}
 	var buf [RecordSize]byte
 	rec := Record{
@@ -284,20 +313,27 @@ func (u *Unit) capture(now sim.Cycles, ip uint64) sim.Cycles {
 	u.ds = append(u.ds, buf[:]...)
 	u.stats.Written++
 	if len(u.ds) >= u.cfg.PMIThreshold {
-		return u.firePMI(now)
+		cost += u.firePMI(now)
 	}
-	return 0
+	return cost
 }
 
-// firePMI delivers the DS contents to the handler and resets the
-// buffer.
+// firePMI delivers the DS contents to the handler, resetting the
+// buffer only when the handler accepted the interrupt.
 func (u *Unit) firePMI(now sim.Cycles) sim.Cycles {
-	u.stats.PMIs++
-	var cost sim.Cycles
-	if u.handler != nil {
-		cost = u.handler(now, u.ds)
+	if !u.pmiPending {
+		u.stats.PMIs++
 	}
-	u.ds = u.ds[:0]
+	if u.handler == nil {
+		u.ds = u.ds[:0]
+		u.pmiPending = false
+		return 0
+	}
+	cost, accepted := u.handler(now, u.ds)
+	if accepted {
+		u.ds = u.ds[:0]
+	}
+	u.pmiPending = !accepted
 	return cost
 }
 

@@ -64,9 +64,9 @@ func TestSamplingRateCountsEventsNotOps(t *testing.T) {
 	run := func(aluPerLoad int) uint64 {
 		var written uint64
 		u := NewUnit(Config{Event: EventLoads, Period: 100},
-			xrand.New(1), func(_ sim.Cycles, recs []byte) sim.Cycles {
+			xrand.New(1), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
 				written += uint64(len(recs) / RecordSize)
-				return 0
+				return 0, true
 			})
 		u.Enable()
 		ld := loadOp(0x1000, 0x40)
@@ -96,9 +96,9 @@ func TestNoCollisionsUnlikeSPE(t *testing.T) {
 	// Long latencies never cause PEBS drops (no tracking slot).
 	var got int
 	u := NewUnit(Config{Event: EventLoads, Period: 10},
-		xrand.New(1), func(_ sim.Cycles, recs []byte) sim.Cycles {
+		xrand.New(1), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
 			got += len(recs) / RecordSize
-			return 0
+			return 0, true
 		})
 	u.Enable()
 	ld := loadOp(0x2000, 0x40)
@@ -118,9 +118,9 @@ func TestSkidMovesIP(t *testing.T) {
 	// With skid enabled, some records carry the PC of a later op.
 	var ips []uint64
 	u := NewUnit(Config{Event: EventLoads, Period: 7, SkidOps: 3},
-		xrand.New(3), func(_ sim.Cycles, recs []byte) sim.Cycles {
+		xrand.New(3), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
 			DecodeAll(recs, func(r *Record) { ips = append(ips, r.IP) })
-			return 0
+			return 0, true
 		})
 	u.Enable()
 	now := sim.Cycles(0)
@@ -144,9 +144,9 @@ func TestSkidMovesIP(t *testing.T) {
 func TestSkidAddressStaysPrecise(t *testing.T) {
 	var recs []Record
 	u := NewUnit(Config{Event: EventLoads, Period: 5, SkidOps: 2},
-		xrand.New(9), func(_ sim.Cycles, raw []byte) sim.Cycles {
+		xrand.New(9), func(_ sim.Cycles, raw []byte) (sim.Cycles, bool) {
 			DecodeAll(raw, func(r *Record) { recs = append(recs, *r) })
-			return 0
+			return 0, true
 		})
 	u.Enable()
 	now := sim.Cycles(0)
@@ -176,12 +176,12 @@ func TestPMIThresholdAndCost(t *testing.T) {
 	var pmis int
 	u := NewUnit(Config{Event: EventLoads, Period: 1, DSBytes: RecordSize * 8,
 		PMIThreshold: RecordSize * 4},
-		xrand.New(1), func(_ sim.Cycles, recs []byte) sim.Cycles {
+		xrand.New(1), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
 			pmis++
 			if len(recs) != RecordSize*4 {
 				t.Errorf("PMI with %d bytes, want %d", len(recs), RecordSize*4)
 			}
-			return 1000
+			return 1000, true
 		})
 	u.Enable()
 	ld := loadOp(1, 2)
@@ -240,5 +240,72 @@ func TestDefaults(t *testing.T) {
 	}
 	if u.cfg.PMIThreshold > u.cfg.DSBytes {
 		t.Error("threshold beyond capacity")
+	}
+}
+
+func TestRejectedPMIRetriesAndRecovers(t *testing.T) {
+	// While the kernel rejects PMIs the DS buffer fills and overflows
+	// (transient drops); once service is available again, the next
+	// capture's retry must resume delivery — rejection must not wedge
+	// the unit permanently.
+	reject := true
+	var accepted int
+	u := NewUnit(Config{Event: EventLoads, Period: 1,
+		DSBytes: RecordSize * 8, PMIThreshold: RecordSize * 4},
+		xrand.New(1), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
+			if reject {
+				return 0, false
+			}
+			accepted += len(recs) / RecordSize
+			return 0, true
+		})
+	u.Enable()
+	ld := loadOp(1, 2)
+	for i := 0; i < 32; i++ {
+		u.OnOp(sim.Cycles(i), &ld, 4, 0)
+	}
+	st := u.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no DS-overflow drops while the PMI was rejected")
+	}
+	if accepted != 0 {
+		t.Fatal("handler accepted records while rejecting")
+	}
+	droppedBefore := st.Dropped
+	reject = false
+	for i := 32; i < 64; i++ {
+		u.OnOp(sim.Cycles(i), &ld, 4, 0)
+	}
+	if accepted == 0 {
+		t.Fatal("service never resumed after the rejection window")
+	}
+	if u.Stats().Dropped != droppedBefore {
+		t.Errorf("drops kept accruing after service resumed: %d -> %d",
+			droppedBefore, u.Stats().Dropped)
+	}
+}
+
+func TestArmedOverwriteCountsDropped(t *testing.T) {
+	// Period at or below the skid window: counter overflows faster
+	// than armed samples resolve, so older armed samples are lost —
+	// and must be accounted, keeping Sampled == Written + Dropped
+	// (plus at most one sample still armed at the end).
+	u := NewUnit(Config{Event: EventLoads, Period: 2, SkidOps: 8},
+		xrand.New(3), func(_ sim.Cycles, recs []byte) (sim.Cycles, bool) {
+			return 0, true
+		})
+	u.Enable()
+	ld := loadOp(1, 2)
+	for i := 0; i < 100_000; i++ {
+		u.OnOp(sim.Cycles(i), &ld, 4, 0)
+	}
+	u.Flush(100_000)
+	st := u.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops despite period <= skid window")
+	}
+	if got := st.Written + st.Dropped; got != st.Sampled && got != st.Sampled-1 {
+		t.Errorf("Sampled=%d != Written=%d + Dropped=%d (+<=1 armed)",
+			st.Sampled, st.Written, st.Dropped)
 	}
 }

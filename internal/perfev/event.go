@@ -3,9 +3,8 @@ package perfev
 import (
 	"nmo/internal/isa"
 	"nmo/internal/ringbuf"
+	"nmo/internal/sampler"
 	"nmo/internal/sim"
-	"nmo/internal/spe"
-	"nmo/internal/spepkt"
 )
 
 // WakeupFunc is the monitor callback invoked when the kernel inserts a
@@ -22,8 +21,8 @@ type EventStats struct {
 	Wakeups            uint64     // buffer-management interrupts taken
 	AuxRecords         uint64     // PERF_RECORD_AUX records inserted
 	LostRecords        uint64     // data-ring overflows
-	TruncatedRecords   uint64     // SPE records dropped: aux full / too small
-	TruncatedBytes     uint64     // bytes of dropped SPE records
+	TruncatedRecords   uint64     // sample records dropped: aux full / too small / PMI missed
+	TruncatedBytes     uint64     // bytes of dropped sample records
 	FlaggedCollisions  uint64     // aux records carrying AuxFlagCollision
 	FlaggedTruncations uint64     // aux records carrying AuxFlagTruncated
 	DrainedBytes       uint64     // aux bytes consumed by the monitor
@@ -37,8 +36,9 @@ type pendingDrain struct {
 	dataBytes int
 }
 
-// Event is an open perf event: either an SPE sampling event (with
-// data + aux buffers) or a plain counter.
+// Event is an open perf event: either a sampling event (with data +
+// aux buffers and a backend sampling unit — SPE or PEBS) or a plain
+// counter.
 type Event struct {
 	kernel *Kernel
 	attr   Attr
@@ -50,7 +50,7 @@ type Event struct {
 	count uint64
 
 	// Sampling state.
-	unit            *spe.Unit
+	unit            sampler.Unit
 	dataRing        *ringbuf.Buf
 	auxRing         *ringbuf.Buf
 	watermark       uint64
@@ -61,6 +61,7 @@ type Event struct {
 	pending         []pendingDrain
 	stopped         bool       // buffer-full: collection paused (PMBSR.S)
 	deadUntil       sim.Cycles // post-IRQ service window: unit stopped
+	finalizing      bool       // end-of-run flush: suppress IRQ charges
 	wakeup          WakeupFunc
 	irqPenalty      sim.Cycles
 	auxRecBuf       [auxRecordSize]byte
@@ -68,23 +69,14 @@ type Event struct {
 	stats EventStats
 }
 
-func newEvent(k *Kernel, attr Attr, core int) *Event {
+func newEvent(k *Kernel, attr Attr, core int) (*Event, error) {
 	ev := &Event{kernel: k, attr: attr, core: core}
-	if attr.IsSampling() {
-		cfg := spe.Config{
-			Period:             attr.SamplePeriod,
-			SampleLoads:        attr.Config&SPELoadFilter != 0,
-			SampleStores:       attr.Config&SPEStoreFilter != 0,
-			SampleBranches:     attr.Config&SPEBranchFilter != 0,
-			MinLatency:         uint16(attr.Config2),
-			CollectPA:          attr.Config&SPEPAEnable != 0,
-			TimerDiv:           1,
-			CorruptOnCollision: 64,
+	if kind := attr.BackendKind(); kind != "" {
+		backend, err := sampler.For(kind)
+		if err != nil {
+			return nil, err
 		}
-		if attr.Config&SPEJitter != 0 {
-			cfg.JitterBits = 8
-		}
-		ev.unit = spe.NewUnit(cfg, k.rng.Derive(uint64(core)*2+1), ev)
+		ev.unit = backend.NewUnit(attr.samplerConfig(), k.rng.Derive(uint64(core)*2+1), ev)
 	}
 	if !attr.Disabled {
 		ev.enabled = true
@@ -92,7 +84,7 @@ func newEvent(k *Kernel, attr Attr, core int) *Event {
 			ev.unit.Enable()
 		}
 	}
-	return ev
+	return ev, nil
 }
 
 // Core returns the core index the event is bound to.
@@ -104,11 +96,11 @@ func (e *Event) Attr() Attr { return e.attr }
 // Stats returns kernel-side accounting.
 func (e *Event) Stats() EventStats { return e.stats }
 
-// SPEStats returns the hardware unit's counters (zero value for
-// counting events).
-func (e *Event) SPEStats() spe.Stats {
+// UnitStats returns the sampling unit's normalized counters (zero
+// value for counting events).
+func (e *Event) UnitStats() sampler.Stats {
 	if e.unit == nil {
-		return spe.Stats{}
+		return sampler.Stats{}
 	}
 	return e.unit.Stats()
 }
@@ -217,9 +209,9 @@ func (e *Event) OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8, tlbMis
 	}
 	// Counting event.
 	switch {
-	case e.attr.Config == RawMemAccess && op.Kind.IsMemory():
+	case CountsMemAccess(e.attr.Config) && op.Kind.IsMemory():
 		e.count += accessesOf(op)
-	case e.attr.Config == RawBusAccess && op.Kind.IsMemory() && level >= 3:
+	case CountsBusAccess(e.attr.Config) && op.Kind.IsMemory() && level >= 3:
 		e.count += accessesOf(op)
 	}
 	return 0
@@ -238,8 +230,9 @@ func accessesOf(op *isa.Op) uint64 {
 	return 1
 }
 
-// WriteRecord implements spe.Sink: the hardware path from the SPE unit
-// into the aux area. It returns false when the record is truncated.
+// WriteRecord implements the per-record half of sampler.Host: the
+// hardware path from a streaming unit (SPE) into the aux area. It
+// returns false when the record is truncated.
 func (e *Event) WriteRecord(now sim.Cycles, rec []byte) bool {
 	if e.auxRing == nil ||
 		e.auxRing.Size() < e.kernel.costs.MinAuxPages*e.kernel.pageSize {
@@ -286,6 +279,56 @@ func (e *Event) WriteRecord(now sim.Cycles, rec []byte) bool {
 	if e.auxRing.Head()-e.lastServiceHead >= e.watermark {
 		e.serviceAux(now, false)
 	}
+	return true
+}
+
+// ServicePMI implements the batch half of sampler.Host: a PEBS-style
+// unit delivers its whole DS-buffer span at the performance monitoring
+// interrupt. The span is copied into the aux area and published
+// immediately — the PMI plays exactly the role the aux watermark plays
+// on the streaming path, reusing the same PERF_RECORD_AUX + wakeup +
+// monitor-drain machinery (DESIGN.md §8). A PMI arriving while the
+// previous one is still being serviced is rejected (returns false):
+// the unit keeps its DS buffer and overflows it if service stays
+// unavailable — the DS-overflow loss PEBS actually suffers. Accepted
+// records that outsize the aux ring are dropped in whole-record units
+// (kernel-side truncation, the analogue of SPE aux truncation).
+func (e *Event) ServicePMI(now sim.Cycles, records []byte, recSize int) bool {
+	if recSize <= 0 {
+		recSize = len(records)
+	}
+	if e.auxRing == nil ||
+		e.auxRing.Size() < e.kernel.costs.MinAuxPages*e.kernel.pageSize {
+		// Unmapped or below the driver minimum: like SPE, the event
+		// cannot deliver at all, and no interrupt cost is charged.
+		// The span is consumed and lost (the driver has nowhere to
+		// put it, ever), mirroring the SPE below-minimum accounting.
+		e.stats.TruncatedRecords += uint64(len(records) / recSize)
+		e.stats.TruncatedBytes += uint64(len(records))
+		return true
+	}
+	e.applyDrains(now)
+	if now < e.deadUntil && !e.finalizing {
+		// The previous PMI is still being serviced; the kernel cannot
+		// take another. The DS span stays with the unit.
+		return false
+	}
+	free := e.auxRing.Free()
+	fit := free - free%recSize
+	if fit > len(records) {
+		fit = len(records)
+	}
+	if fit > 0 && e.auxRing.Write(records[:fit]) {
+		e.recsSinceSvc += uint64(fit / recSize)
+	} else {
+		fit = 0
+	}
+	if dropped := len(records) - fit; dropped > 0 {
+		e.truncSinceSvc = true
+		e.stats.TruncatedRecords += uint64(dropped / recSize)
+		e.stats.TruncatedBytes += uint64(dropped)
+	}
+	e.serviceAux(now, e.finalizing)
 	return true
 }
 
@@ -362,16 +405,23 @@ func (e *Event) applyDrains(now sim.Cycles) {
 	}
 }
 
-// FinalDrain flushes any residual aux data after the workload
-// finishes. NMO's monitoring process drains the buffer after program
-// exit; the time is not charged to the application (§VII). It returns
-// the number of bytes flushed.
+// FinalDrain flushes any residual sample data after the workload
+// finishes — first the unit's hardware buffer (the PEBS DS residue;
+// SPE buffers nothing unit-side), then the unpublished aux span.
+// NMO's monitoring process drains the buffer after program exit; the
+// time is not charged to the application (§VII). It returns the
+// number of bytes flushed.
 func (e *Event) FinalDrain(now sim.Cycles) uint64 {
 	if e.auxRing == nil {
 		return 0
 	}
 	before := e.stats.DrainedBytes
+	e.finalizing = true
+	if e.unit != nil {
+		e.unit.Flush(now)
+	}
 	e.serviceAux(now, true)
+	e.finalizing = false
 	// Retire everything immediately: the application is gone, the
 	// monitor has exclusive use of the buffers.
 	for _, p := range e.pending {
@@ -387,9 +437,3 @@ func (e *Event) FinalDrain(now sim.Cycles) uint64 {
 // PendingDrains reports how many aux spans the monitor has not yet
 // finished consuming (test/diagnostic helper).
 func (e *Event) PendingDrains() int { return len(e.pending) }
-
-// DecodeSpan is a convenience wrapper around spepkt.DecodeAll for a
-// span delivered to a WakeupFunc.
-func DecodeSpan(span []byte, fn func(*spepkt.Record)) spepkt.DecodeStats {
-	return spepkt.DecodeAll(span, fn)
-}

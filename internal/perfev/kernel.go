@@ -154,7 +154,10 @@ func (k *Kernel) Open(attr *Attr, core int) (*Event, error) {
 	if core < 0 || core >= k.cores {
 		return nil, fmt.Errorf("%w: %d (machine has %d)", ErrBadCore, core, k.cores)
 	}
-	ev := newEvent(k, *attr, core)
+	ev, err := newEvent(k, *attr, core)
+	if err != nil {
+		return nil, err
+	}
 	k.events = append(k.events, ev)
 	return ev, nil
 }

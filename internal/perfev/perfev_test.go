@@ -4,10 +4,20 @@ import (
 	"testing"
 
 	"nmo/internal/isa"
+	"nmo/internal/sampler"
 	"nmo/internal/sim"
-	"nmo/internal/spepkt"
 	"nmo/internal/xrand"
 )
+
+// speDecode decodes an SPE aux span through the backend decoder (the
+// helper the removed perfev.DecodeSpan used to provide).
+func speDecode(span []byte, fn func(*sampler.Sample)) sampler.DecodeStats {
+	b, err := sampler.For(sampler.KindSPE)
+	if err != nil {
+		panic(err)
+	}
+	return b.NewDecoder().DecodeSpan(span, fn)
+}
 
 func testKernel(cores int) *Kernel {
 	ts := sim.TimescaleFor(sim.Freq{Hz: 3_000_000_000}, 1, 0)
@@ -153,7 +163,7 @@ func TestSamplingProducesAuxRecords(t *testing.T) {
 	var decoded int
 	ev.SetWakeup(func(now, done sim.Cycles, e *Event, rec RecordAux, span []byte) {
 		spans++
-		st := DecodeSpan(span, func(r *spepkt.Record) { decoded++ })
+		st := speDecode(span, func(*sampler.Sample) { decoded++ })
 		if st.Partial != 0 {
 			t.Errorf("span has %d partial bytes", st.Partial)
 		}
@@ -168,7 +178,7 @@ func TestSamplingProducesAuxRecords(t *testing.T) {
 	if st.AuxRecords == 0 || st.DrainedBytes == 0 {
 		t.Errorf("stats = %+v", st)
 	}
-	spest := ev.SPEStats()
+	spest := ev.UnitStats()
 	if spest.Emitted == 0 {
 		t.Fatal("no records emitted")
 	}
@@ -264,7 +274,7 @@ func TestCollisionFlagPropagates(t *testing.T) {
 		now += 2
 	}
 	ev.FinalDrain(1 << 40)
-	if ev.SPEStats().Collisions == 0 {
+	if ev.UnitStats().Collisions == 0 {
 		t.Fatal("setup produced no collisions")
 	}
 	if ev.Stats().FlaggedCollisions == 0 {
@@ -277,7 +287,7 @@ func TestFinalDrainFlushesResidual(t *testing.T) {
 	ev := openSampled(t, k, 8, 8, 2048) // huge aux: no watermark service
 	var decoded int
 	ev.SetWakeup(func(_, _ sim.Cycles, _ *Event, _ RecordAux, span []byte) {
-		DecodeSpan(span, func(*spepkt.Record) { decoded++ })
+		speDecode(span, func(*sampler.Sample) { decoded++ })
 	})
 	feedLoads(ev, 10_000, 4, 4)
 	if decoded != 0 {
@@ -402,5 +412,138 @@ func TestDefaultCostsApplied(t *testing.T) {
 	c := k.Costs()
 	if c.IRQBase == 0 || c.MinAuxPages == 0 || c.DrainPerByte == 0 {
 		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+// ---- PEBS path: the PMI maps onto the aux service machinery ----
+
+func pebsAttr(period uint64, watermark uint32) *Attr {
+	return &Attr{
+		Type: TypeRaw, Config: RawMemInstRetiredAny,
+		SamplePeriod: period, Precise: 2, AuxWatermark: watermark,
+	}
+}
+
+func pebsDecode(span []byte, fn func(*sampler.Sample)) sampler.DecodeStats {
+	b, err := sampler.For(sampler.KindPEBS)
+	if err != nil {
+		panic(err)
+	}
+	return b.NewDecoder().DecodeSpan(span, fn)
+}
+
+func TestPEBSAttrValidation(t *testing.T) {
+	k := testKernel(1)
+	cases := []struct {
+		attr Attr
+		ok   bool
+	}{
+		{Attr{Type: TypeRaw, Config: RawMemInstRetiredAny, SamplePeriod: 100, Precise: 2}, true},
+		{Attr{Type: TypeRaw, Config: RawMemInstRetiredAllLoads, SamplePeriod: 100, Precise: 1}, true},
+		{Attr{Type: TypeRaw, Config: RawMemInstRetiredAny, Precise: 2}, false},            // no period
+		{Attr{Type: TypeRaw, Config: RawBusAccess, SamplePeriod: 100, Precise: 2}, false}, // not PEBS-capable
+		{Attr{Type: TypeRaw, Config: RawMemInstRetiredAny}, true},                         // plain counter is fine
+	}
+	for i, c := range cases {
+		_, err := k.Open(&c.attr, 0)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestPEBSSamplingDeliversSpansViaPMI(t *testing.T) {
+	k := testKernel(1)
+	ev, err := k.Open(pebsAttr(64, 2048), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapRing(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapAux(16); err != nil {
+		t.Fatal(err)
+	}
+	var spans, decoded int
+	ev.SetWakeup(func(now, done sim.Cycles, e *Event, rec RecordAux, span []byte) {
+		spans++
+		if st := pebsDecode(span, func(*sampler.Sample) { decoded++ }); st.Partial != 0 {
+			t.Errorf("span has %d partial bytes", st.Partial)
+		}
+	})
+	feedLoads(ev, 1_000_000, 4, 4)
+	ev.FinalDrain(1 << 40)
+
+	if spans == 0 {
+		t.Fatal("no PMI wakeups delivered")
+	}
+	st := ev.Stats()
+	if st.AuxRecords == 0 || st.IRQCycles == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	us := ev.UnitStats()
+	if us.Collisions != 0 {
+		t.Errorf("PEBS event reported %d collisions", us.Collisions)
+	}
+	wantRate := 1_000_000 / 64
+	if decoded < wantRate*8/10 || decoded > wantRate*11/10 {
+		t.Errorf("decoded %d records, want ~%d", decoded, wantRate)
+	}
+}
+
+func TestPEBSDeadWindowOverflowsDS(t *testing.T) {
+	// An enormous post-PMI dead window: every PMI after the first is
+	// rejected while the previous one is "still being serviced", so
+	// the unit keeps filling its DS buffer until it overflows — the
+	// records are lost at the unit (Stats.Dropped), not the kernel.
+	ts := sim.TimescaleFor(sim.Freq{Hz: 3_000_000_000}, 1, 0)
+	k := NewKernel(1, Costs{IRQDeadTime: 1 << 40}, ts, xrand.New(5))
+	ev, err := k.Open(pebsAttr(16, 1024), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapRing(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapAux(16); err != nil {
+		t.Fatal(err)
+	}
+	feedLoads(ev, 500_000, 2, 4)
+	if dropped := ev.UnitStats().Dropped; dropped == 0 {
+		t.Fatal("DS buffer never overflowed despite the stuck service window")
+	}
+	if st := ev.Stats(); st.Wakeups != 1 {
+		t.Errorf("wakeups = %d, want exactly the first PMI", st.Wakeups)
+	}
+}
+
+func TestPEBSFinalDrainFlushesDSResidue(t *testing.T) {
+	k := testKernel(1)
+	// Watermark far above what the run produces: no PMI fires during
+	// the run; everything sits in the DS buffer until the final flush.
+	ev, err := k.Open(pebsAttr(64, 1<<20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapRing(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MmapAux(64); err != nil {
+		t.Fatal(err)
+	}
+	var decoded int
+	ev.SetWakeup(func(_, _ sim.Cycles, _ *Event, _ RecordAux, span []byte) {
+		pebsDecode(span, func(*sampler.Sample) { decoded++ })
+	})
+	feedLoads(ev, 20_000, 4, 4)
+	if decoded != 0 {
+		t.Fatalf("decoded %d before drain; PMI threshold should not have fired", decoded)
+	}
+	n := ev.FinalDrain(1 << 40)
+	if n == 0 || decoded == 0 {
+		t.Errorf("final drain flushed %d bytes, decoded %d", n, decoded)
+	}
+	if ev.Stats().Wakeups != 0 {
+		t.Error("final DS flush must not charge an interrupt")
 	}
 }

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"nmo/internal/analysis"
@@ -77,6 +78,17 @@ func pad(s string, w int) string {
 		return s
 	}
 	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SortedKeys returns a count-map's keys in sorted order, for
+// deterministic table rendering (Go map iteration order is random).
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Pct formats a ratio as a percentage string.

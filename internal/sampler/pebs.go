@@ -1,0 +1,95 @@
+package sampler
+
+import (
+	"nmo/internal/isa"
+	"nmo/internal/pebs"
+	"nmo/internal/sim"
+	"nmo/internal/xrand"
+)
+
+// pebsBackend adapts the Intel PEBS model (internal/pebs) to the
+// neutral interface.
+type pebsBackend struct{}
+
+func (pebsBackend) Kind() Kind { return KindPEBS }
+
+// pebsEventFor selects the counted population from the operation-class
+// filters. PEBS counts one event; loads+stores maps to the combined
+// retired-memory-instruction event.
+func pebsEventFor(cfg Config) pebs.Event {
+	switch {
+	case cfg.SampleLoads && cfg.SampleStores:
+		return pebs.EventMemAll
+	case cfg.SampleStores:
+		return pebs.EventStores
+	default:
+		return pebs.EventLoads
+	}
+}
+
+func (pebsBackend) NewUnit(cfg Config, rng *xrand.RNG, host Host) Unit {
+	u := pebs.NewUnit(pebs.Config{
+		Event:        pebsEventFor(cfg),
+		Period:       cfg.Period,
+		SkidOps:      cfg.SkidOps,
+		DSBytes:      cfg.DSBytes,
+		PMIThreshold: cfg.PMIThreshold,
+	}, rng, func(now sim.Cycles, records []byte) (sim.Cycles, bool) {
+		// The PMI hands the DS span to the kernel event; interrupt
+		// time is charged through the host's IRQ accounting rather
+		// than returned, matching how the SPE path charges its buffer
+		// management interrupt. A rejected PMI leaves the DS buffer
+		// with the unit, whose overflow drops are the real PEBS loss.
+		return 0, host.ServicePMI(now, records, pebs.RecordSize)
+	})
+	return pebsUnit{u}
+}
+
+func (pebsBackend) NewDecoder() Decoder { return pebsDecoder{} }
+
+// pebsUnit wraps pebs.Unit, dropping the probe arguments PEBS hardware
+// does not see (TLB and NUMA outcomes ride in SPE event packets only).
+type pebsUnit struct{ *pebs.Unit }
+
+func (u pebsUnit) OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8, tlbMiss, remote bool) {
+	u.Unit.OnOp(now, op, lat, level)
+}
+
+func (u pebsUnit) Stats() Stats {
+	s := u.Unit.Stats()
+	return Stats{
+		OpsSeen:   s.EventsSeen,
+		Selected:  s.Sampled,
+		Emitted:   s.Written,
+		Dropped:   s.Dropped,
+		SkidTotal: s.SkidTotal,
+	}
+}
+
+// pebsDecoder normalizes the fixed 48-byte PEBS memory records. The
+// data-source encoding already is a hierarchy level index, and the IP
+// skid is inherent in the record (shadowing happened at capture).
+type pebsDecoder struct{}
+
+func (pebsDecoder) DecodeSpan(span []byte, emit func(*Sample)) DecodeStats {
+	var st DecodeStats
+	st.Valid = pebs.DecodeAll(span, func(rec *pebs.Record) {
+		emit(&Sample{
+			PC:    rec.IP,
+			VA:    rec.Addr,
+			TS:    rec.TSC,
+			Lat:   clamp16(rec.Latency),
+			Level: rec.Source,
+			Store: rec.Store,
+		})
+	})
+	st.Partial = len(span) % pebs.RecordSize
+	return st
+}
+
+func clamp16(v uint32) uint16 {
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}

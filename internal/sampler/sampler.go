@@ -1,0 +1,223 @@
+// Package sampler defines the architecture-neutral sampling layer of
+// the profiler: a Backend constructs per-core sampling Units and span
+// Decoders for one ISA's precise-sampling hardware, and every layer
+// above (perfev's kernel events, core's decode stage, the experiment
+// grids) speaks only these interfaces.
+//
+// Two backends implement the abstraction, mirroring the paper's §III
+// statement that the runtime "uses SPE when compiling for ARM and PEBS
+// for Intel":
+//
+//   - SPE (arm64): every decoded operation passes the interval
+//     counter; selected operations are *tracked* through the pipeline
+//     by a single tracking slot, so concurrent samples collide and are
+//     dropped. Records stream into the aux area one at a time and the
+//     kernel's aux watermark decides when the monitor wakes.
+//   - PEBS (x86_64): a hardware counter counts a specific retired-
+//     instruction population and arms a microcode capture on overflow.
+//     There are no collisions, but the captured instruction pointer
+//     *skids* to a nearby later instruction (shadowing), and records
+//     accumulate in the Debug Store buffer until a PMI delivers the
+//     whole span — the PMI plays exactly the role the SPE aux
+//     watermark wakeup plays, which is why both map onto the same
+//     kernel service path (DESIGN.md §8).
+//
+// The normalization contract: both units account into the same Stats
+// (backend-specific mechanisms land in dedicated fields — Collisions
+// stays zero on PEBS, Dropped/SkidTotal stay zero on SPE), and both
+// decoders emit the same Sample (PC, VA, raw cycle timestamp, latency,
+// memory level, store flag), so the attribution pipeline above never
+// branches on the ISA.
+package sampler
+
+import (
+	"fmt"
+	"strings"
+
+	"nmo/internal/isa"
+	"nmo/internal/sim"
+	"nmo/internal/xrand"
+)
+
+// Kind names a sampling backend.
+type Kind string
+
+// Supported backends.
+const (
+	// KindSPE is the ARM Statistical Profiling Extension backend.
+	KindSPE Kind = "spe"
+	// KindPEBS is the Intel Processor Event-Based Sampling backend.
+	KindPEBS Kind = "pebs"
+)
+
+// Kinds returns the supported backends in stable order.
+func Kinds() []Kind { return []Kind{KindSPE, KindPEBS} }
+
+// SupportedList renders the backend names for flag help and error
+// messages ("spe, pebs").
+func SupportedList() string {
+	names := make([]string, 0, 2)
+	for _, k := range Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseKind parses an NMO_BACKEND / -backend value. The error names
+// every supported backend, so CLIs can surface it verbatim.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "spe", "arm", "arm64":
+		return KindSPE, nil
+	case "pebs", "intel", "x86", "x86_64":
+		return KindPEBS, nil
+	}
+	return "", fmt.Errorf("sampler: unknown backend %q (supported: %s)", s, SupportedList())
+}
+
+// Arch returns the ISA the backend's hardware exists on.
+func (k Kind) Arch() string {
+	if k == KindPEBS {
+		return isa.ArchX86
+	}
+	return isa.ArchARM64
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return string(k) }
+
+// Config programs one per-core sampling unit, backend-neutrally. The
+// kernel driver layer (perfev) fills it from the perf_event_attr it
+// parsed; fields a backend has no hardware for are ignored by it.
+type Config struct {
+	// Period is the sampling interval: operations between samples on
+	// SPE, population-event occurrences between samples on PEBS.
+	Period uint64
+	// SampleLoads / SampleStores / SampleBranches select the sampled
+	// operation classes. SPE implements them as the programmable
+	// post-selection filter; PEBS selects the counted population
+	// (branches are not a PEBS memory population and are ignored).
+	SampleLoads    bool
+	SampleStores   bool
+	SampleBranches bool
+	// JitterBits widens the random perturbation of the interval
+	// counter reload (SPE dither); 0 disables. PEBS reloads exactly.
+	JitterBits uint
+	// MinLatency discards samples below the latency threshold
+	// (SPE PMSLATFR). PEBS has no latency filter in this model.
+	MinLatency uint16
+	// CollectPA includes physical addresses in SPE records.
+	CollectPA bool
+	// TimerDiv is the SPE timer divider (cycles per timer tick).
+	TimerDiv uint64
+	// CorruptOnCollision makes roughly 1/N SPE collisions leave a
+	// mangled record the decoder must skip.
+	CorruptOnCollision uint32
+	// SkidOps bounds the PEBS shadowing skid: the recorded IP belongs
+	// to an instruction up to SkidOps later than the sampled one.
+	SkidOps int
+	// DSBytes is the PEBS Debug Store buffer capacity; 0 keeps the
+	// unit default.
+	DSBytes int
+	// PMIThreshold is the DS fill level at which the PMI fires; 0
+	// keeps the unit default (7/8 of DSBytes).
+	PMIThreshold int
+}
+
+// Host is what the kernel-side event offers a sampling unit: the two
+// hardware-to-kernel delivery paths. SPE uses the per-record path and
+// lets the host's aux watermark decide when to publish; PEBS delivers
+// whole DS spans at PMI time.
+type Host interface {
+	// WriteRecord appends one encoded record to the aux area,
+	// reporting false when the record was truncated (no room).
+	WriteRecord(now sim.Cycles, rec []byte) bool
+	// ServicePMI delivers a full DS-buffer span at a performance
+	// monitoring interrupt. recSize is the backend's record size, so
+	// the host can account partial fits in whole records. It reports
+	// whether the kernel took the interrupt; on false the unit keeps
+	// its hardware buffer and retries — sustained rejection is what
+	// overflows the DS buffer.
+	ServicePMI(now sim.Cycles, records []byte, recSize int) bool
+}
+
+// Stats is the normalized per-unit accounting. Mechanism-specific
+// counters keep their zero value on the backend without the mechanism.
+type Stats struct {
+	OpsSeen    uint64 // operations (SPE) / population events (PEBS) observed
+	Selected   uint64 // interval/counter expiries
+	Collisions uint64 // SPE: samples dropped, tracking slot busy (0 on PEBS)
+	Filtered   uint64 // samples dropped by the programmable filter
+	Emitted    uint64 // records accepted by the host
+	Truncated  uint64 // records rejected by the host (buffer full)
+	Corrupted  uint64 // SPE: mangled records emitted after collisions
+	Dropped    uint64 // PEBS: records lost to DS-buffer overflow (0 on SPE)
+	SkidTotal  uint64 // PEBS: accumulated shadowing skid, in ops (0 on SPE)
+}
+
+// Unit is one core's sampling hardware. Units are driven
+// single-threaded by the machine's core loop and are not safe for
+// concurrent use.
+type Unit interface {
+	// Enable starts sampling (counter restarts from a fresh reload).
+	Enable()
+	// Disable stops sampling; in-flight state is abandoned.
+	Disable()
+	// OnOp observes one decoded operation. Interrupt time raised while
+	// handling it is charged through the Host, not returned here.
+	OnOp(now sim.Cycles, op *isa.Op, lat uint32, level uint8, tlbMiss, remote bool)
+	// Flush delivers any residual hardware-buffered records to the
+	// Host (end of run). SPE buffers nothing unit-side; PEBS flushes
+	// the DS buffer.
+	Flush(now sim.Cycles)
+	// Stats returns a copy of the normalized counters.
+	Stats() Stats
+}
+
+// Sample is one decoded record, normalized across backends. TS is the
+// raw backend timestamp (SPE timer ticks / TSC cycles — both cycle-
+// granular in this model); the session converts it to perf-clock
+// nanoseconds with the kernel's published timescale.
+type Sample struct {
+	PC    uint64 // instruction address (PEBS: possibly skidded)
+	VA    uint64 // sampled data virtual address
+	TS    uint64 // raw backend timestamp
+	Lat   uint16 // total pipeline latency in cycles
+	Level uint8  // memory level that served the access (0=L1 … 3=DRAM)
+	Store bool
+}
+
+// DecodeStats counts the outcomes of one span decode.
+type DecodeStats struct {
+	Valid   int // records decoded successfully
+	Skipped int // records skipped by the invalid-record policy
+	Partial int // trailing bytes not forming a whole record
+}
+
+// Decoder parses drained aux spans into normalized samples. Decoders
+// are stateless and may be shared across spans of one event.
+type Decoder interface {
+	DecodeSpan(span []byte, emit func(*Sample)) DecodeStats
+}
+
+// Backend ties together unit construction and span decoding for one
+// ISA's sampling hardware.
+type Backend interface {
+	Kind() Kind
+	// NewUnit constructs a disabled per-core unit bound to the host.
+	NewUnit(cfg Config, rng *xrand.RNG, host Host) Unit
+	// NewDecoder returns the span decoder for this backend's record
+	// format.
+	NewDecoder() Decoder
+}
+
+// For returns the backend implementation for a kind.
+func For(k Kind) (Backend, error) {
+	switch k {
+	case KindSPE:
+		return speBackend{}, nil
+	case KindPEBS:
+		return pebsBackend{}, nil
+	}
+	return nil, fmt.Errorf("sampler: unknown backend %q (supported: %s)", k, SupportedList())
+}

@@ -1,0 +1,86 @@
+package sampler
+
+import (
+	"nmo/internal/sim"
+	"nmo/internal/spe"
+	"nmo/internal/spepkt"
+	"nmo/internal/xrand"
+)
+
+// speBackend adapts the ARM SPE model (internal/spe + internal/spepkt)
+// to the neutral interface.
+type speBackend struct{}
+
+func (speBackend) Kind() Kind { return KindSPE }
+
+func (speBackend) NewUnit(cfg Config, rng *xrand.RNG, host Host) Unit {
+	u := spe.NewUnit(spe.Config{
+		Period:             cfg.Period,
+		JitterBits:         cfg.JitterBits,
+		SampleLoads:        cfg.SampleLoads,
+		SampleStores:       cfg.SampleStores,
+		SampleBranches:     cfg.SampleBranches,
+		MinLatency:         cfg.MinLatency,
+		CollectPA:          cfg.CollectPA,
+		TimerDiv:           cfg.TimerDiv,
+		CorruptOnCollision: cfg.CorruptOnCollision,
+	}, rng, host)
+	return speUnit{u}
+}
+
+func (speBackend) NewDecoder() Decoder { return speDecoder{} }
+
+// speUnit wraps spe.Unit. SPE streams each record to the host as it
+// completes, so Flush is a no-op — residual aux data is the host's to
+// publish.
+type speUnit struct{ *spe.Unit }
+
+func (speUnit) Flush(sim.Cycles) {}
+
+func (u speUnit) Stats() Stats {
+	s := u.Unit.Stats()
+	return Stats{
+		OpsSeen:    s.OpsSeen,
+		Selected:   s.Selected,
+		Collisions: s.Collisions,
+		Filtered:   s.Filtered,
+		Emitted:    s.Emitted,
+		Truncated:  s.Truncated,
+		Corrupted:  s.Corrupted,
+	}
+}
+
+// speDecoder normalizes SPE packet records: the data-source payload
+// maps back to a hierarchy level index, invalid records (bad headers,
+// zero VA/TS — the post-collision corruption NMO skips) count as
+// Skipped.
+type speDecoder struct{}
+
+func (speDecoder) DecodeSpan(span []byte, emit func(*Sample)) DecodeStats {
+	st := spepkt.DecodeAll(span, func(rec *spepkt.Record) {
+		emit(&Sample{
+			PC:    rec.PC,
+			VA:    rec.VA,
+			TS:    rec.TS,
+			Lat:   rec.TotalLat,
+			Level: levelOfSource(rec.Source),
+			Store: rec.IsStore(),
+		})
+	})
+	return DecodeStats{Valid: st.Valid, Skipped: st.Skipped, Partial: st.Partial}
+}
+
+// levelOfSource maps an SPE data-source payload back to a hierarchy
+// level index.
+func levelOfSource(src uint8) uint8 {
+	switch src {
+	case spepkt.SourceL1:
+		return 0
+	case spepkt.SourceL2:
+		return 1
+	case spepkt.SourceSLC:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"nmo/internal/analysis"
 	"nmo/internal/core"
 	"nmo/internal/machine"
+	"nmo/internal/sampler"
 	"nmo/internal/sim"
 	"nmo/internal/trace"
 	"nmo/internal/workloads"
@@ -56,6 +57,23 @@ const (
 	ModeSample   = core.ModeSample
 	ModeFull     = core.ModeFull
 )
+
+// Backend names a sampling backend (NMO_BACKEND).
+type Backend = sampler.Kind
+
+// Sampling backends: ARM SPE and Intel PEBS.
+const (
+	BackendSPE  = sampler.KindSPE
+	BackendPEBS = sampler.KindPEBS
+)
+
+// ParseBackend parses an NMO_BACKEND / -backend value; the error
+// names every supported backend.
+func ParseBackend(s string) (Backend, error) { return sampler.ParseKind(s) }
+
+// SupportedBackends lists the backend names for flag help ("spe,
+// pebs").
+func SupportedBackends() string { return sampler.SupportedList() }
 
 // Profile is a profiling result: wall time, temporal series, the
 // attributed sample trace, and SPE/kernel statistics.
@@ -105,6 +123,16 @@ func FromEnvFunc(getenv func(string) string) (Config, error) {
 
 // AmpereAltraMax returns the paper's Table II platform specification.
 func AmpereAltraMax() MachineSpec { return machine.AmpereAltraMax() }
+
+// IntelIceLakeSP returns the x86 counterpart platform (Xeon Platinum
+// 8380 class) used for the SPE-vs-PEBS cross-ISA contrasts.
+func IntelIceLakeSP() MachineSpec { return machine.IntelIceLakeSP() }
+
+// SpecForBackend returns the native platform of a sampling backend:
+// the Altra for SPE, the Ice Lake part for PEBS.
+func SpecForBackend(b Backend) MachineSpec {
+	return machine.SpecForArch(b.Arch())
+}
 
 // NewMachine constructs a simulated machine.
 func NewMachine(spec MachineSpec) *Machine { return machine.New(spec) }

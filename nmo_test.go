@@ -27,7 +27,7 @@ func TestPublicQuickstart(t *testing.T) {
 	if len(prof.Trace.Samples) == 0 {
 		t.Fatal("no samples through the public API")
 	}
-	acc := nmo.Accuracy(prof.MemAccesses, prof.SPE.Processed, cfg.Period)
+	acc := nmo.Accuracy(prof.MemAccesses, prof.Sampler.Processed, cfg.Period)
 	if acc < 0.3 {
 		t.Errorf("accuracy = %v", acc)
 	}
