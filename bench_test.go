@@ -40,8 +40,11 @@ func benchScale() experiments.Scale {
 func BenchmarkTable1EnvConfig(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table1EnvVars()
-		if len(rows) != 7 {
-			b.Fatal("Table I row count drifted")
+		// Keep in lockstep with TestTable1MatchesPaperDefaults (the
+		// stale magic number here broke the bench when PR 2 grew the
+		// table).
+		if len(rows) != 10 {
+			b.Fatalf("Table I row count drifted: %d", len(rows))
 		}
 	}
 }
@@ -318,6 +321,51 @@ func BenchmarkEngineParallelSpeedup(b *testing.B) {
 		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
+}
+
+// BenchmarkStreamingVsCollect contrasts the same profiled run under
+// the default Collect sink and under the aggregate-only sink chain
+// the sweep drivers use. allocs/op and B/op expose the per-sample
+// materialization the streaming pipeline removes (the fixed machine +
+// session setup cost is identical in both variants, so the delta is
+// pure sample storage); samples/op records the stream size. CI emits
+// this into BENCH_root.json, pinning the memory trajectory per commit.
+func BenchmarkStreamingVsCollect(b *testing.B) {
+	mkcfg := func() nmo.Config {
+		cfg := nmo.DefaultConfig()
+		cfg.Enable = true
+		cfg.Mode = nmo.ModeSample
+		cfg.Period = 256 // dense sampling: storage dominates setup
+		cfg.Seed = 42
+		return cfg
+	}
+	variant := func(b *testing.B, cfg nmo.Config, wantStored bool) {
+		spec := machine.AmpereAltraMax().WithCores(8)
+		b.ReportAllocs()
+		var processed, stored uint64
+		for i := 0; i < b.N; i++ {
+			w := nmo.NewStream(nmo.StreamConfig{Elems: 200_000, Threads: 8, Iters: 2})
+			p, err := nmo.Run(cfg, nmo.NewMachine(spec), w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			processed = p.Sampler.Processed
+			stored = uint64(len(p.Trace.Samples))
+			if wantStored != (stored > 0) {
+				b.Fatalf("stored %d samples, wantStored=%v", stored, wantStored)
+			}
+		}
+		b.ReportMetric(float64(processed), "samples/op")
+		b.ReportMetric(float64(stored), "stored/op")
+	}
+	b.Run("collect", func(b *testing.B) {
+		variant(b, mkcfg(), true)
+	})
+	b.Run("aggregate", func(b *testing.B) {
+		cfg := mkcfg()
+		cfg.SinkFactory = experiments.AggregateSinks
+		variant(b, cfg, false)
+	})
 }
 
 // BenchmarkEngineScenarioOverhead measures the per-scenario fixed cost

@@ -18,18 +18,27 @@
 // <NMO_NAME>.{capacity,bandwidth}.csv next to the working directory
 // and prints a summary with the trace MD5. With several workloads the
 // file base becomes <NMO_NAME>.<workload>.
+//
+// With -trace-out (or NMO_TRACE_OUT) the samples stream into a
+// blocked, indexed v2 trace file instead of being materialized in
+// memory: the run's sample footprint is one block, and the summary
+// tables are derived afterwards by scanning the file out-of-core
+// (one pass, several aggregations). With several workloads the
+// workload name is inserted before the file extension.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"nmo"
 	"nmo/internal/analysis"
 	"nmo/internal/engine"
 	"nmo/internal/experiments"
+	"nmo/internal/postproc"
 	"nmo/internal/report"
 	"nmo/internal/workloads"
 )
@@ -45,15 +54,17 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial)")
 	backend := flag.String("backend", "",
 		"sampling backend ("+nmo.SupportedBackends()+"); selects the machine ISA (default spe on ARM); overrides NMO_BACKEND")
+	traceOut := flag.String("trace-out", "",
+		"stream samples to an indexed v2 trace file (bounded memory); overrides NMO_TRACE_OUT")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend string) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut string) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
@@ -67,8 +78,14 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 		}
 		cfg.Backend = kind
 	}
+	if traceOut != "" {
+		cfg.TraceOut = traceOut
+	}
 	if !cfg.Enable {
 		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
+		if cfg.TraceOut != "" {
+			fmt.Println("WARNING: -trace-out is ignored while profiling is disabled; no trace file will be written.")
+		}
 	}
 
 	names := strings.Split(workload, ",")
@@ -112,8 +129,14 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 		default:
 			return fmt.Errorf("unknown workload %q", name)
 		}
+		// Each scenario writes its own v2 file: distinct paths when
+		// several workloads share one -trace-out request.
+		scfg := cfg
+		if cfg.TraceOut != "" && multi {
+			scfg.TraceOut = insertName(cfg.TraceOut, name)
+		}
 		scenarios = append(scenarios, engine.Scenario{
-			Name: name, Spec: spec, Config: cfg, Workload: factory,
+			Name: name, Spec: spec, Config: scfg, Workload: factory,
 		})
 	}
 
@@ -126,7 +149,7 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 		if multi {
 			base = cfg.Name + "." + scenarios[i].Name
 		}
-		if err := report1(res.Profile, cfg, base); err != nil {
+		if err := report1(res.Profile, scenarios[i].Config, base); err != nil {
 			return err
 		}
 	}
@@ -178,49 +201,20 @@ func report1(prof *nmo.Profile, cfg nmo.Config, base string) error {
 		}
 		fmt.Printf("Eq.(1) accuracy: %.2f%%\n",
 			100*nmo.Accuracy(prof.MemAccesses, prof.Sampler.Processed, cfg.EffectivePeriod()))
-		fmt.Printf("trace MD5: %x (%d samples stored)\n", prof.MD5, len(prof.Trace.Samples))
-
-		t := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
-		byRegion := prof.Trace.CountByRegion()
-		for _, name := range report.SortedKeys(byRegion) {
-			t.AddRow(name, byRegion[name])
-		}
-		if err := t.Render(os.Stdout); err != nil {
+		// The streamed branch only applies when the run actually wrote
+		// the file; with profiling disabled no sinks exist and the
+		// legacy path below still renders its (empty) tables.
+		if cfg.TraceOut != "" && cfg.Enable {
+			// Streamed run: the samples are on disk, not in memory; the
+			// tables below come from one out-of-core pass over the file.
+			fmt.Printf("trace MD5: %x (%d samples streamed to %s)\n",
+				prof.MD5, prof.Sampler.Processed, cfg.TraceOut)
+			if err := reportStreamed(cfg.TraceOut); err != nil {
+				return err
+			}
+		} else if err := reportCollected(prof, base); err != nil {
 			return err
 		}
-
-		// Cache-activity view from the SPE data-source packets.
-		lv := analysis.LevelBreakdown(prof.Trace)
-		lt := &report.Table{Title: "Samples by memory level (data source)",
-			Headers: []string{"level", "count"}}
-		for i, name := range []string{"L1", "L2", "SLC", "DRAM"} {
-			lt.AddRow(name, lv[i])
-		}
-		if err := lt.Render(os.Stdout); err != nil {
-			return err
-		}
-		p50, p90, p99 := analysis.LatencyPercentiles(prof.Trace)
-		fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n", p50, p90, p99)
-
-		f, err := os.Create(base + ".trace.csv")
-		if err != nil {
-			return err
-		}
-		if err := prof.Trace.WriteCSV(f); err != nil {
-			f.Close()
-			return err
-		}
-		f.Close()
-		fb, err := os.Create(base + ".trace.bin")
-		if err != nil {
-			return err
-		}
-		if err := prof.Trace.WriteBinary(fb); err != nil {
-			fb.Close()
-			return err
-		}
-		fb.Close()
-		fmt.Printf("wrote %s.trace.csv and %s.trace.bin\n", base, base)
 	}
 	if cfg.Mode.Counters() {
 		if err := writeSeries(base+".bandwidth.csv", &prof.Bandwidth); err != nil {
@@ -233,6 +227,101 @@ func report1(prof *nmo.Profile, cfg nmo.Config, base string) error {
 		}
 	}
 	return nil
+}
+
+// reportCollected renders the sample tables of an in-memory trace and
+// writes its CSV/binary files.
+func reportCollected(prof *nmo.Profile, base string) error {
+	fmt.Printf("trace MD5: %x (%d samples stored)\n", prof.MD5, len(prof.Trace.Samples))
+	if prof.TraceTruncated > 0 {
+		fmt.Printf("WARNING: %d samples dropped at the MaxSamples cap (stream with -trace-out to keep them all)\n",
+			prof.TraceTruncated)
+	}
+
+	t := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
+	byRegion := prof.Trace.CountByRegion()
+	for _, name := range report.SortedKeys(byRegion) {
+		t.AddRow(name, byRegion[name])
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Cache-activity view from the SPE data-source packets.
+	var levels [4]uint64
+	for i, n := range analysis.LevelBreakdown(prof.Trace) {
+		levels[i] = uint64(n)
+	}
+	if err := report.LevelTable(os.Stdout, levels); err != nil {
+		return err
+	}
+	p50, p90, p99 := analysis.LatencyPercentiles(prof.Trace)
+	fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n", p50, p90, p99)
+
+	f, err := os.Create(base + ".trace.csv")
+	if err != nil {
+		return err
+	}
+	if err := prof.Trace.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	fb, err := os.Create(base + ".trace.bin")
+	if err != nil {
+		return err
+	}
+	if err := prof.Trace.WriteBinary(fb); err != nil {
+		fb.Close()
+		return err
+	}
+	fb.Close()
+	fmt.Printf("wrote %s.trace.csv and %s.trace.bin\n", base, base)
+	return nil
+}
+
+// reportStreamed renders the same sample tables from a v2 trace file,
+// out-of-core: one scan feeds every aggregation, and memory stays
+// bounded by one block regardless of the trace size.
+func reportStreamed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := nmo.OpenTraceV2(f)
+	if err != nil {
+		return err
+	}
+	// No checksum needed here: the run just reported its rolling MD5.
+	sum, err := postproc.Summarize(postproc.From(rd), false)
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
+	for _, g := range sum.ByRegion.Groups() {
+		t.AddRow(g.Key, g.Count)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.LevelTable(os.Stdout, sum.Levels.By); err != nil {
+		return err
+	}
+	fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n",
+		sum.Lat.Percentile(50), sum.Lat.Percentile(90), sum.Lat.Percentile(99))
+	fmt.Printf("wrote %s (%d samples, %d blocks; inspect with nmostat -trace)\n",
+		path, rd.TotalSamples(), rd.NumBlocks())
+	return nil
+}
+
+// insertName inserts a workload name before the path's extension
+// ("out.nmo2" + "cfd" -> "out.cfd.nmo2"), keeping multi-workload
+// streams from clobbering one file.
+func insertName(path, name string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + name + ext
 }
 
 func writeSeries(path string, s *nmo.Series) error {

@@ -212,8 +212,15 @@ func (r *runner) regionTrace(workload string, threads int, title string) error {
 		t.AddRow("kernel:"+name, res.ByKernel[name])
 	}
 	t.AddRow("locality(4KB)", fmt.Sprintf("%.3f", res.Locality))
+	if res.Truncated > 0 {
+		t.AddRow("truncated(MaxSamples)", res.Truncated)
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
+	}
+	if res.Truncated > 0 {
+		fmt.Printf("WARNING: %d samples dropped at the MaxSamples cap; the figure is clipped\n",
+			res.Truncated)
 	}
 	fmt.Println()
 	return nil

@@ -3,16 +3,31 @@
 // methodology (§VII, Eq. 1). It runs a workload uninstrumented except
 // for counting events (which cost nothing in the model) and prints
 // the counters the evaluation needs.
+//
+// With -trace it is a trace-file inspector instead: it reads a sample
+// trace (v2 files out-of-core — only the footer block index and one
+// block at a time are ever resident; v1 .trace.bin loads fully) and
+// prints the sample tables from a single scan feeding every
+// aggregation. -from/-to (ns) and -core push down to the v2 block
+// index, so a narrow query skips most of the file's blocks without
+// touching their bytes:
+//
+//	nmostat -trace run.nmo2
+//	nmostat -trace run.nmo2 -from 1000000 -to 2000000 -core 3
+//	nmostat -trace legacy.trace.bin -format v1
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"nmo"
+	"nmo/internal/postproc"
 	"nmo/internal/report"
+	"nmo/internal/trace"
 )
 
 // options collects the CLI parameters (a struct so the golden test can
@@ -24,6 +39,13 @@ type options struct {
 	iters    int
 	cores    int
 	seed     uint64
+
+	// Trace inspection mode (-trace).
+	trace  string
+	format string
+	fromNs uint64
+	toNs   uint64
+	core   int
 }
 
 func main() {
@@ -34,6 +56,11 @@ func main() {
 	flag.IntVar(&o.iters, "iters", 2, "iterations (stream/cfd) or BFS sources")
 	flag.IntVar(&o.cores, "cores", 128, "machine cores")
 	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
+	flag.StringVar(&o.trace, "trace", "", "inspect a trace file instead of running a workload")
+	flag.StringVar(&o.format, "format", "auto", "trace file format: auto | v1 | v2")
+	flag.Uint64Var(&o.fromNs, "from", 0, "trace mode: keep samples with time >= from (ns)")
+	flag.Uint64Var(&o.toNs, "to", 0, "trace mode: keep samples with time < to (ns; 0 = unbounded)")
+	flag.IntVar(&o.core, "core", -1, "trace mode: keep samples from one core (-1 = all)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -43,6 +70,9 @@ func main() {
 }
 
 func run(out io.Writer, o options) error {
+	if o.trace != "" {
+		return inspectTrace(out, o)
+	}
 	var w nmo.Workload
 	switch o.workload {
 	case "stream":
@@ -78,4 +108,125 @@ func run(out io.Writer, o options) error {
 	t.AddRow("seconds (simulated)", fmt.Sprintf("%.6f", prof.WallSec))
 	t.AddRow("arithmetic intensity", fmt.Sprintf("%.4f flops/B", prof.ArithmeticIntensity()))
 	return t.Render(out)
+}
+
+// inspectTrace reads a trace file and prints its sample tables. v2
+// traces are read out-of-core (footer index + one block at a time);
+// the time/core flags push down to the block index as skip hints.
+func inspectTrace(out io.Writer, o options) error {
+	f, err := os.Open(o.trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	format := o.format
+	if format == "auto" {
+		if format, err = sniffFormat(f); err != nil {
+			return err
+		}
+	}
+	var src nmo.SampleSource
+	var rd *nmo.TraceReaderV2
+	switch format {
+	case "v2":
+		if rd, err = nmo.OpenTraceV2(f); err != nil {
+			return err
+		}
+		src = rd
+	case "v1":
+		tr, err := nmo.ReadTraceBinary(f)
+		if err != nil {
+			return err
+		}
+		src = tr
+	default:
+		return fmt.Errorf("unknown trace format %q (auto, v1, v2)", format)
+	}
+
+	if o.core > 32767 {
+		// Core ids are int16 in the sample model; an unchecked cast
+		// would silently wrap onto a different core.
+		return fmt.Errorf("-core %d out of range (0..32767)", o.core)
+	}
+	q := postproc.From(src)
+	filtered := o.fromNs != 0 || o.toNs != 0 || o.core >= 0
+	if o.fromNs != 0 || o.toNs != 0 {
+		q = q.TimeBetween(o.fromNs, o.toNs)
+	}
+	if o.core >= 0 {
+		q = q.OnCores(int16(o.core))
+	}
+
+	// One scan feeds every table below (and the checksum).
+	meta := src.Meta()
+	// The checksum row only renders on unfiltered scans; skip the
+	// per-sample hashing otherwise.
+	sum, err := postproc.Summarize(q, !filtered)
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("trace %s (%s): %s", o.trace, format, meta.Workload),
+		Headers: []string{"item", "value"},
+	}
+	t.AddRow("samples (matching)", sum.Count)
+	if rd != nil {
+		t.AddRow("samples (file)", rd.TotalSamples())
+		read, skipped := rd.ScanStats()
+		t.AddRow("blocks read / skipped", fmt.Sprintf("%d / %d", read, skipped))
+		if !filtered {
+			status := "ok"
+			if sum.MD5 != rd.MD5() {
+				status = "MISMATCH"
+			}
+			t.AddRow("payload MD5", fmt.Sprintf("%x (%s)", rd.MD5(), status))
+		}
+	} else if !filtered {
+		t.AddRow("payload MD5", fmt.Sprintf("%x", sum.MD5))
+	}
+	t.AddRow("mean latency (cycles)", fmt.Sprintf("%.1f", sum.MeanLat.Mean()))
+	t.AddRow("latency p50/p90/p99", fmt.Sprintf("%.0f / %.0f / %.0f",
+		sum.Lat.Percentile(50), sum.Lat.Percentile(90), sum.Lat.Percentile(99)))
+	if err := t.Render(out); err != nil {
+		return err
+	}
+
+	for _, sect := range []struct {
+		title  string
+		groups []postproc.Group
+	}{
+		{"Samples by region", sum.ByRegion.Groups()},
+		{"Samples by kernel", sum.ByKernel.Groups()},
+		{"Samples by core", sum.ByCore.Groups()},
+	} {
+		gt := &report.Table{Title: sect.title, Headers: []string{"tag", "count"}}
+		for _, g := range sect.groups {
+			gt.AddRow(g.Key, g.Count)
+		}
+		if err := gt.Render(out); err != nil {
+			return err
+		}
+	}
+	return report.LevelTable(out, sum.Levels.By)
+}
+
+// sniffFormat distinguishes v1 from v2 traces by their magic and
+// rewinds the file.
+func sniffFormat(f io.ReadSeeker) (string, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return "", fmt.Errorf("%w: short file", trace.ErrBadTrace)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case trace.MagicV1:
+		return "v1", nil
+	case trace.MagicV2:
+		return "v2", nil
+	}
+	return "", fmt.Errorf("%w: unrecognized magic %x", trace.ErrBadTrace, magic)
 }

@@ -5,7 +5,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"nmo"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -42,6 +45,123 @@ func TestUnknownWorkloadErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, options{workload: "spec2017"}); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+// writeTestTraces profiles a small run streaming to a v2 file and also
+// writes the same trace in v1 form, returning both paths.
+func writeTestTraces(t *testing.T) (v2path, v1path string) {
+	t.Helper()
+	dir := t.TempDir()
+	v2path = filepath.Join(dir, "t.nmo2")
+	v1path = filepath.Join(dir, "t.trace.bin")
+
+	cfg := nmo.DefaultConfig()
+	cfg.Enable = true
+	cfg.Mode = nmo.ModeSample
+	cfg.Period = 500
+	cfg.Seed = 42
+	mach := nmo.NewMachine(nmo.AmpereAltraMax().WithCores(4))
+	w := nmo.NewStream(nmo.StreamConfig{Elems: 20_000, Threads: 4, Iters: 2})
+	p, err := nmo.Run(cfg, mach, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := os.Create(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Trace.WriteBinary(f1); err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+
+	cfg.TraceOut = v2path
+	if _, err := nmo.Run(cfg, nmo.NewMachine(nmo.AmpereAltraMax().WithCores(4)), w); err != nil {
+		t.Fatal(err)
+	}
+	return v2path, v1path
+}
+
+// TestInspectTraceV2AndV1 drives the -trace mode over both formats:
+// the same sample population must render the same counts, the v2
+// checksum must verify, and format sniffing must pick the right
+// decoder.
+func TestInspectTraceV2AndV1(t *testing.T) {
+	v2path, v1path := writeTestTraces(t)
+	render := func(o options) string {
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	outV2 := render(options{trace: v2path, format: "auto", core: -1})
+	outV1 := render(options{trace: v1path, format: "auto", core: -1})
+	if !strings.Contains(outV2, "(v2): stream") || !strings.Contains(outV1, "(v1): stream") {
+		t.Errorf("format sniffing failed:\n%s\n%s", outV2, outV1)
+	}
+	if !strings.Contains(outV2, "(ok)") {
+		t.Errorf("v2 checksum did not verify:\n%s", outV2)
+	}
+	// Same sample tables from both formats: compare the shared suffix
+	// (region/kernel/core/level sections).
+	tail := func(s string) string {
+		i := strings.Index(s, "## Samples by region")
+		if i < 0 {
+			t.Fatalf("no region table:\n%s", s)
+		}
+		return s[i:]
+	}
+	if tail(outV2) != tail(outV1) {
+		t.Errorf("v1/v2 tables differ:\n%s\nvs\n%s", tail(outV2), tail(outV1))
+	}
+}
+
+// TestInspectTracePushdown: a narrow time/core query must report block
+// skips and a reduced matching count.
+func TestInspectTracePushdown(t *testing.T) {
+	v2path, _ := writeTestTraces(t)
+	var buf bytes.Buffer
+	if err := run(&buf, options{trace: v2path, format: "v2", fromNs: 1, toNs: 2, core: 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "blocks read / skipped") {
+		t.Errorf("no pushdown stats:\n%s", out)
+	}
+	squeezed := strings.Join(strings.Fields(out), " ")
+	if !strings.Contains(squeezed, "samples (matching) 0 ") {
+		t.Errorf("narrow query matched samples:\n%s", out)
+	}
+	// A core id past int16 must be rejected, not wrapped onto core 0.
+	if err := run(&buf, options{trace: v2path, format: "v2", core: 65536}); err == nil {
+		t.Error("out-of-range -core accepted")
+	}
+}
+
+// TestInspectTraceCorruptFails: malformed inputs error, never panic.
+func TestInspectTraceCorruptFails(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.nmo2")
+	if err := os.WriteFile(bad, []byte("garbage that is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, options{trace: bad, format: "auto", core: -1}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	v2path, _ := writeTestTraces(t)
+	full, err := os.ReadFile(v2path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.nmo2")
+	if err := os.WriteFile(trunc, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, options{trace: trunc, format: "v2", core: -1}); err == nil {
+		t.Fatal("truncated trace accepted")
 	}
 }
 

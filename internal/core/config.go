@@ -16,7 +16,15 @@ import (
 	"nmo/internal/isa"
 	"nmo/internal/perfev"
 	"nmo/internal/sampler"
+	"nmo/internal/trace"
 )
+
+// SinkFactory builds the sample-sink chain for one run. It is called
+// once per run, before the first sample decodes, with the stream's
+// identity (workload plus region/kernel name tables). When set it
+// replaces the default in-memory Collect sink, which is how aggregate-
+// only sweeps run whole grids with O(1) sample memory per scenario.
+type SinkFactory func(meta trace.Meta) (trace.Sink, error)
 
 // Mode selects what the profiler collects, the NMO_MODE setting.
 type Mode int
@@ -130,6 +138,18 @@ type Config struct {
 	// AuxWatermarkBytes overrides the aux wakeup watermark (0 = half
 	// the aux buffer).
 	AuxWatermarkBytes uint32
+	// SinkFactory replaces the default Collect sink with a custom sink
+	// chain (nil = collect into Profile.Trace, the compat path).
+	SinkFactory SinkFactory
+	// TraceOut, when set (NMO_TRACE_OUT), streams samples to a blocked
+	// indexed v2 trace file at this path instead of materializing them
+	// in memory: Profile.Trace stays empty (name tables only) and the
+	// run's sample memory is one block. Composes with SinkFactory (both
+	// receive the stream).
+	TraceOut string
+	// TraceBlockSamples overrides the v2 block granularity
+	// (0 = trace.DefaultBlockSamples).
+	TraceBlockSamples int
 	// Costs overrides the kernel cost model (zero fields keep the
 	// calibrated defaults); the scaled-down experiments shrink costs
 	// together with run lengths.
@@ -240,6 +260,12 @@ func (c Config) Validate() error {
 		// sample everything.
 		return fmt.Errorf("core: sampling selects no operation classes (loads/stores both off)")
 	}
+	if c.Enable && c.TraceOut != "" && !c.Mode.Sampling() {
+		// Rejected rather than ignored (like MinLatencyFilter on PEBS):
+		// a user who asked for a trace file must not get a successful
+		// run and no file.
+		return fmt.Errorf("core: NMO_TRACE_OUT requires a sampling mode (NMO_MODE=sample or full), mode is %s", c.Mode)
+	}
 	if c.IntervalSec < 0 {
 		return fmt.Errorf("core: negative interval %v", c.IntervalSec)
 	}
@@ -287,6 +313,9 @@ func FromEnv(getenv func(string) string) (Config, error) {
 	}
 	if v := getenv("NMO_TRACK_RSS"); v != "" {
 		c.TrackRSS = isTruthy(v)
+	}
+	if v := getenv("NMO_TRACE_OUT"); v != "" {
+		c.TraceOut = v
 	}
 	if v := getenv("NMO_BUFSIZE"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"nmo/internal/isa"
@@ -56,8 +57,13 @@ type Profile struct {
 	// in simulated seconds.
 	Wall    sim.Cycles
 	WallSec float64
-	// Trace holds the attributed memory-access samples (ModeSample+).
+	// Trace holds the attributed memory-access samples (ModeSample+
+	// under the default Collect sink; name tables only when a custom
+	// SinkFactory or TraceOut stream consumed the samples instead).
 	Trace *trace.Trace
+	// TraceTruncated counts samples dropped at the MaxSamples cap —
+	// the high-pressure runs the cap silently clipped before.
+	TraceTruncated uint64
 	// Capacity (GiB) and Bandwidth (GiB/s) temporal series
 	// (ModeCounters+; capacity additionally requires TrackRSS).
 	Capacity  trace.Series
@@ -146,9 +152,28 @@ type run struct {
 	sampEvents []*perfev.Event
 	decoder    sampler.Decoder
 
-	// Tagged-phase windows (setupMarkers/execute).
-	windows []kernelWindow
-	open    map[int16]uint64
+	// Sample pipeline (setupEvents, sampling modes only): decoded
+	// samples flow through the attribution boundary into the sink
+	// chain. collect is the default in-memory sink (nil when a custom
+	// SinkFactory or TraceOut replaced it); v2/traceFile carry the
+	// NMO_TRACE_OUT stream.
+	sink      trace.Sink
+	boundary  *emitBoundary
+	collect   *trace.Collect
+	v2        *trace.WriterV2
+	traceFile *os.File
+	// sum16 reads the run's checksum from whichever streaming sink
+	// carries one (chosen once, in setupSinks); nil on the Collect
+	// path, which hashes the stored trace at aggregate time instead.
+	sum16 func() [16]byte
+
+	// Live tagged-phase state (setupMarkers/execute): label -> startNs
+	// of the currently open window; closed windows live in boundary.
+	open map[int16]uint64
+
+	// Temporal collectors (setupTemporal; nil when disabled).
+	bwSeries  *trace.SeriesBuilder
+	capSeries *trace.SeriesBuilder
 
 	// Execution results (execute/drain).
 	res        machine.RunResult
@@ -164,7 +189,14 @@ type run struct {
 // stages into no-ops rather than branching the control flow:
 //
 //	prepare -> setupEvents -> setupMarkers -> setupTemporal
-//	        -> execute -> drain -> attribute -> aggregate
+//	        -> execute -> drain -> flush -> aggregate
+//
+// Samples stream: the decode stage attributes each sample at emit
+// time and pushes it through the configured sink chain (Collect by
+// default; aggregate-only or v2-file sinks under SinkFactory /
+// TraceOut), so memory is bounded by what the sinks retain. flush
+// releases the attribution boundary's reorder buffer and seals the
+// sinks.
 func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 	r, err := s.prepare(w)
 	if err != nil {
@@ -172,12 +204,12 @@ func (s *Session) Run(w workloads.Workload) (*Profile, error) {
 	}
 	defer r.teardown()
 	for _, stage := range []func() error{
-		r.setupEvents,   // counting + SPE sampling probes
+		r.setupEvents,   // counting + sampling probes, sink chain
 		r.setupMarkers,  // tagged-phase annotation windows
 		r.setupTemporal, // bandwidth/capacity collectors
 		r.execute,       // run the op streams on the machine
 		r.drain,         // post-exit aux flush + decode
-		r.attribute,     // kernel-window sample attribution
+		r.flush,         // release the reorder buffer, seal sinks
 		r.aggregate,     // stats, interference, checksum
 	} {
 		if err := stage(); err != nil {
@@ -229,11 +261,17 @@ func (s *Session) prepare(w workloads.Workload) (*run, error) {
 	}, nil
 }
 
-// teardown releases the machine's probe/callback slots.
+// teardown releases the machine's probe/callback slots and the trace
+// output file (a failed run leaves a footer-less, unreadable file —
+// the error already told the caller not to trust it).
 func (r *run) teardown() {
 	r.s.mach.ClearProbes()
 	r.s.mach.ClearTicks()
 	r.s.mach.SetMarkerFunc(nil)
+	if r.traceFile != nil {
+		r.traceFile.Close()
+		r.traceFile = nil
+	}
 }
 
 // setupEvents opens the counting events (exact memory-access counts
@@ -298,6 +336,9 @@ func (r *run) setupEvents() error {
 	}
 	r.decoder = backend.NewDecoder()
 	r.prof.Backend = kind
+	if err := r.setupSinks(); err != nil {
+		return err
+	}
 	attr := r.samplingAttr(kind)
 	for t := 0; t < r.threads; t++ {
 		ev, err := r.kern.Open(attr, t)
@@ -312,13 +353,79 @@ func (r *run) setupEvents() error {
 		}
 		core := int16(t)
 		ev.SetWakeup(func(now, done sim.Cycles, e *perfev.Event, rec perfev.RecordAux, span []byte) {
-			r.decodeSpan(core, span)
+			r.decodeSpan(core, now, span)
 		})
 		if err := r.s.mach.AttachProbe(t, ev); err != nil {
 			return err
 		}
 		r.sampEvents = append(r.sampEvents, ev)
 	}
+	return nil
+}
+
+// setupSinks builds the run's sample-sink chain and the attribution
+// boundary in front of it. The default chain is the Collect compat
+// sink (materialize into Profile.Trace under the MaxSamples cap); a
+// SinkFactory replaces it, and TraceOut appends a streaming v2 file
+// writer — either of which makes the run's sample memory independent
+// of the sample count.
+func (r *run) setupSinks() error {
+	cfg := &r.s.cfg
+	meta := r.prof.Trace.Meta()
+	var sinks []trace.Sink
+	var custom trace.Sink
+	if cfg.SinkFactory != nil {
+		s, err := cfg.SinkFactory(meta)
+		if err != nil {
+			return fmt.Errorf("core: sink factory: %w", err)
+		}
+		custom = s
+		sinks = append(sinks, s)
+	}
+	if cfg.TraceOut != "" {
+		f, err := os.Create(cfg.TraceOut)
+		if err != nil {
+			return fmt.Errorf("core: NMO_TRACE_OUT: %w", err)
+		}
+		r.traceFile = f
+		w, err := trace.NewWriterV2(f, meta, cfg.TraceBlockSamples)
+		if err != nil {
+			return err
+		}
+		r.v2 = w
+		sinks = append(sinks, w)
+	}
+	if len(sinks) == 0 {
+		r.collect = trace.NewCollect(r.prof.Trace, cfg.MaxSamples)
+		sinks = append(sinks, r.collect)
+	}
+
+	// Choose the checksum source once, here: the v2 writer's rolling
+	// hash, a Sum16-capable custom sink, or — when no streaming sink
+	// can produce one (e.g. a factory returning a bare Tee) — a
+	// rolling hash that rides along, so Profile.MD5 never silently
+	// stays zero. The Collect path leaves sum16 nil and hashes the
+	// stored (possibly capped) trace at aggregate time instead.
+	if r.collect == nil {
+		switch {
+		case r.v2 != nil:
+			r.sum16 = r.v2.Sum16
+		default:
+			if h, ok := custom.(interface{ Sum16() [16]byte }); ok {
+				r.sum16 = h.Sum16
+			} else {
+				hash := trace.NewHash()
+				sinks = append(sinks, hash)
+				r.sum16 = hash.Sum16
+			}
+		}
+	}
+	if len(sinks) == 1 {
+		r.sink = sinks[0]
+	} else {
+		r.sink = trace.NewTee(sinks...)
+	}
+	r.boundary = newEmitBoundary(r.sink, r.open)
 	return nil
 }
 
@@ -384,29 +491,29 @@ func (r *run) samplingAttr(kind sampler.Kind) *perfev.Attr {
 }
 
 // decodeSpan is the decode stage's hot path: it parses one drained aux
-// span with the backend's decoder and appends attributed samples to
-// the trace. It runs inside kernel wakeups during execute and again
-// from drain for the residual flush. The decoder already normalized
-// the record (PEBS IP skid is baked into PC, the data source is a
-// hierarchy level), so attribution is backend-free.
-func (r *run) decodeSpan(core int16, span []byte) {
-	cfg := &r.s.cfg
+// span with the backend's decoder and pushes each attributed sample
+// through the boundary into the sink chain. It runs inside kernel
+// wakeups during execute and again from drain for the residual flush.
+// The decoder already normalized the record (PEBS IP skid is baked
+// into PC, the data source is a hierarchy level), so attribution is
+// backend-free; now is the service time, which upper-bounds every
+// drained sample's completion timestamp.
+func (r *run) decodeSpan(core int16, now sim.Cycles, span []byte) {
+	nowNs := r.nsOf(now)
 	st := r.decoder.DecodeSpan(span, func(s *sampler.Sample) {
 		r.prof.Sampler.Processed++
-		if len(r.prof.Trace.Samples) >= cfg.MaxSamples {
-			return
-		}
-		r.prof.Trace.Samples = append(r.prof.Trace.Samples, trace.Sample{
+		smp := trace.Sample{
 			TimeNs: r.ts.ToNanos(s.TS),
 			VA:     s.VA,
 			PC:     s.PC,
 			Lat:    s.Lat,
 			Core:   core,
 			Region: attributeRegion(r.sortedRegions, r.regionIndex, s.VA),
-			Kernel: -1, // attributed after the run
+			Kernel: -1, // assigned at the boundary
 			Store:  s.Store,
 			Level:  s.Level,
-		})
+		}
+		r.boundary.push(&smp, nowNs)
 	})
 	r.prof.Sampler.SkippedInvalid += uint64(st.Skipped)
 }
@@ -423,9 +530,11 @@ func (r *run) setupMarkers() error {
 			r.open[int16(op.Label)] = r.nsOf(now)
 		case isa.MarkerStop:
 			if start, ok := r.open[int16(op.Label)]; ok {
-				r.windows = append(r.windows, kernelWindow{
-					startNs: start, endNs: r.nsOf(now), label: int16(op.Label),
-				})
+				if r.boundary != nil {
+					r.boundary.windowClosed(kernelWindow{
+						startNs: start, endNs: r.nsOf(now), label: int16(op.Label),
+					})
+				}
 				delete(r.open, int16(op.Label))
 			}
 		}
@@ -439,12 +548,15 @@ func (r *run) nsOf(c sim.Cycles) uint64 {
 }
 
 // setupTemporal registers the per-quantum tick that subsamples the
-// bandwidth and capacity series at the configured interval.
+// bandwidth and capacity series at the configured interval, feeding
+// the online series builders (max/mean maintained incrementally).
 func (r *run) setupTemporal() error {
 	cfg := &r.s.cfg
 	if !cfg.Enable {
 		return nil
 	}
+	r.bwSeries = trace.NewSeriesBuilder("bandwidth", "GiBps")
+	r.capSeries = trace.NewSeriesBuilder("capacity", "GiB")
 	if cfg.Mode.Counters() && cfg.IntervalSec > 0 {
 		intervalCycles := r.spec.Freq.CyclesOf(cfg.IntervalSec)
 		if intervalCycles == 0 {
@@ -463,19 +575,15 @@ func (r *run) setupTemporal() error {
 					cfg.IntervalSec / float64(1<<30)
 				prevBytes = bytes
 				tsec := r.spec.Freq.Seconds(next)
-				r.prof.Bandwidth.Points = append(r.prof.Bandwidth.Points,
-					trace.Point{TimeSec: tsec, Value: gibps})
+				r.bwSeries.Add(tsec, gibps)
 				if cfg.TrackRSS {
 					rss, _ := r.s.mach.RSS()
-					r.prof.Capacity.Points = append(r.prof.Capacity.Points,
-						trace.Point{TimeSec: tsec, Value: float64(rss) / float64(1<<30)})
+					r.capSeries.Add(tsec, float64(rss)/float64(1<<30))
 				}
 				next += intervalCycles
 			}
 		})
 	}
-	r.prof.Bandwidth.Name, r.prof.Bandwidth.Unit = "bandwidth", "GiBps"
-	r.prof.Capacity.Name, r.prof.Capacity.Unit = "capacity", "GiB"
 	return nil
 }
 
@@ -487,17 +595,18 @@ func (r *run) execute() error {
 		return err
 	}
 	r.res = res
-	// Close leftovers in label order: map iteration order must not
-	// leak into the window list (trace checksums are bit-reproducible).
-	leftover := make([]int16, 0, len(r.open))
-	for label := range r.open {
-		leftover = append(leftover, label)
-	}
-	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
-	for _, label := range leftover {
-		r.windows = append(r.windows, kernelWindow{
-			startNs: r.open[label], endNs: r.nsOf(res.Wall), label: label,
-		})
+	// Close leftovers (implicit nmo_stop at program end) into the
+	// boundary's sorted window set, and clear the open map so the
+	// final flush attributes against closed windows only — a sample
+	// completing exactly at the wall must not match an "open" window
+	// the wall already ended.
+	for label, start := range r.open {
+		if r.boundary != nil {
+			r.boundary.windowClosed(kernelWindow{
+				startNs: start, endNs: r.nsOf(res.Wall), label: label,
+			})
+		}
+		delete(r.open, label)
 	}
 	return nil
 }
@@ -517,10 +626,20 @@ func (r *run) drain() error {
 	return nil
 }
 
-// attribute assigns each sample the tagged phase containing its
-// timestamp.
-func (r *run) attribute() error {
-	attributeKernels(r.prof.Trace, r.windows)
+// flush releases the attribution boundary's reorder buffer (every
+// window has closed by now, so attribution is decidable for any
+// timestamp) and seals the sink chain — the v2 writer's footer index
+// is written here.
+func (r *run) flush() error {
+	if r.boundary == nil {
+		return nil
+	}
+	if err := r.boundary.finish(); err != nil {
+		return fmt.Errorf("core: sample sink: %w", err)
+	}
+	if err := r.sink.Close(); err != nil {
+		return fmt.Errorf("core: sample sink close: %w", err)
+	}
 	return nil
 }
 
@@ -536,6 +655,8 @@ func (r *run) aggregate() error {
 	if !r.s.cfg.Enable {
 		return nil
 	}
+	prof.Bandwidth = r.bwSeries.Series()
+	prof.Capacity = r.capSeries.Series()
 
 	// Monitor interference: NMO's monitoring process competes with the
 	// application for cores. With T app threads on a C-core machine,
@@ -577,44 +698,18 @@ func (r *run) aggregate() error {
 		prof.Kernel.DrainedBytes += k.DrainedBytes
 		prof.Kernel.IRQCycles += k.IRQCycles
 	}
-	prof.MD5 = prof.Trace.MD5()
-	return nil
-}
 
-// attributeKernels assigns each sample the tagged phase containing its
-// timestamp.
-func attributeKernels(tr *trace.Trace, windows []kernelWindow) {
-	if len(windows) == 0 || len(tr.Samples) == 0 {
-		return
+	// Seal the trace checksum. The Collect path hashes the stored
+	// (possibly capped) trace, exactly as the batch pipeline did; the
+	// streaming paths report the rolling hash of the full emitted
+	// stream — equal to a Collect hash whenever the cap did not bite.
+	if r.collect != nil {
+		prof.MD5 = prof.Trace.MD5()
+		prof.TraceTruncated = r.collect.Truncated
+	} else if r.sum16 != nil {
+		prof.MD5 = r.sum16()
 	}
-	// Tie-break on label: sort.Slice is unstable, and equal start
-	// timestamps must not make attribution order run-dependent.
-	sort.Slice(windows, func(i, j int) bool {
-		if windows[i].startNs != windows[j].startNs {
-			return windows[i].startNs < windows[j].startNs
-		}
-		return windows[i].label < windows[j].label
-	})
-	starts := make([]uint64, len(windows))
-	for i, w := range windows {
-		starts[i] = w.startNs
-	}
-	for i := range tr.Samples {
-		t := tr.Samples[i].TimeNs
-		// Last window starting at or before t.
-		idx := sort.Search(len(starts), func(k int) bool { return starts[k] > t }) - 1
-		for ; idx >= 0; idx-- {
-			if windows[idx].endNs > t {
-				tr.Samples[i].Kernel = windows[idx].label
-				break
-			}
-			// Windows are non-overlapping per label but may nest
-			// across labels; scan a few earlier windows.
-			if t-windows[idx].startNs > 1<<40 {
-				break
-			}
-		}
-	}
+	return nil
 }
 
 // attributeRegion finds the tagged region containing va (-1 if none).

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"nmo/internal/trace"
+)
+
+// emitBoundary sits between the decode stage and the configured sink
+// chain: it assigns each sample its tagged-phase (kernel) label at
+// emit time and releases samples to the sinks in arrival order.
+//
+// It replaces the old materialize-then-process tail (collect all
+// samples, then SortByTime + attributeKernels over the full trace)
+// with a streaming equivalent. The correctness argument:
+//
+//   - A sample's kernel attribution is the highest-(startNs, label)
+//     window containing its timestamp t. Windows open at marker time,
+//     which is machine "now" — monotone — so once now (in trace ns)
+//     strictly exceeds t, no window with startNs <= t can still
+//     appear: the candidate set is complete.
+//   - A window that is still *open* when the decision is made closes
+//     at some future cycle, whose ns conversion is >= now-ns > t — so
+//     an open window with startNs <= t is guaranteed to contain t and
+//     participates as an end=∞ candidate.
+//
+// Samples whose timestamp has not yet been passed by the clock wait in
+// a small reorder buffer (FIFO, so the sinks observe the exact decode
+// order the batch pipeline stored — trace checksums are preserved
+// byte for byte). The buffer drains at the next decode wakeup and is
+// flushed completely by finish(), after every window has closed.
+type emitBoundary struct {
+	sink trace.Sink
+	// open is the live marker state (label -> startNs), shared with
+	// the run's marker callback.
+	open map[int16]uint64
+	// closed holds finished windows sorted by (startNs, label) — the
+	// same order batch attribution sorted into post-hoc.
+	closed []kernelWindow
+	// pending is the reorder buffer: samples in arrival order whose
+	// attribution is not yet decidable. head indexes the first
+	// unemitted entry so draining does not reallocate.
+	pending []trace.Sample
+	head    int
+	// emitted counts samples released to the sink chain.
+	emitted uint64
+	err     error
+}
+
+func newEmitBoundary(sink trace.Sink, open map[int16]uint64) *emitBoundary {
+	return &emitBoundary{sink: sink, open: open}
+}
+
+// windowClosed inserts a finished window at its (startNs, label) sort
+// position. Windows close rarely relative to sample arrival, so the
+// O(n) insertion is noise next to the per-sample work it replaces.
+func (b *emitBoundary) windowClosed(w kernelWindow) {
+	i := sort.Search(len(b.closed), func(k int) bool {
+		if b.closed[k].startNs != w.startNs {
+			return b.closed[k].startNs > w.startNs
+		}
+		return b.closed[k].label > w.label
+	})
+	b.closed = append(b.closed, kernelWindow{})
+	copy(b.closed[i+1:], b.closed[i:])
+	b.closed[i] = w
+}
+
+// push hands one decoded sample to the boundary. nowNs is the current
+// machine time in trace nanoseconds; samples strictly older than it
+// are attributable immediately, the rest wait in the reorder buffer.
+func (b *emitBoundary) push(s *trace.Sample, nowNs uint64) {
+	if b.head == len(b.pending) && s.TimeNs < nowNs {
+		b.emit(s)
+		return
+	}
+	b.pending = append(b.pending, *s)
+	b.drain(nowNs)
+}
+
+// drain releases pending samples whose attribution became decidable,
+// preserving arrival order (head-of-line blocking keeps a young ready
+// sample behind an old not-yet-ready one).
+func (b *emitBoundary) drain(nowNs uint64) {
+	for b.head < len(b.pending) && b.pending[b.head].TimeNs < nowNs {
+		b.emit(&b.pending[b.head])
+		b.head++
+	}
+	if b.head == len(b.pending) {
+		b.pending = b.pending[:0]
+		b.head = 0
+	}
+}
+
+// finish flushes the reorder buffer unconditionally. It must only run
+// once every window has closed (after the run's leftover-close and
+// final drain), when attribution is decidable for any timestamp.
+func (b *emitBoundary) finish() error {
+	for b.head < len(b.pending) {
+		b.emit(&b.pending[b.head])
+		b.head++
+	}
+	b.pending, b.head = nil, 0
+	return b.err
+}
+
+// emit attributes and releases one sample.
+func (b *emitBoundary) emit(s *trace.Sample) {
+	if k := b.attribute(s.TimeNs); k >= 0 {
+		s.Kernel = k
+	}
+	b.emitted++
+	if b.err != nil {
+		return
+	}
+	b.err = b.sink.Emit(s)
+}
+
+// attribute finds the tagged phase containing t: the highest
+// (startNs, label) window with startNs <= t and endNs > t. It walks
+// the closed windows downward from the last startNs <= t — the exact
+// loop batch attribution ran, including its stale-window cutoff — with
+// the best open window merged in at its sort position (open windows
+// always contain t; see the type comment).
+func (b *emitBoundary) attribute(t uint64) int16 {
+	var openStart uint64
+	var openLabel int16
+	haveOpen := false
+	for label, start := range b.open {
+		if start > t {
+			continue
+		}
+		if !haveOpen || start > openStart || (start == openStart && label > openLabel) {
+			openStart, openLabel, haveOpen = start, label, true
+		}
+	}
+	idx := sort.Search(len(b.closed), func(k int) bool { return b.closed[k].startNs > t }) - 1
+	for ; idx >= 0; idx-- {
+		w := &b.closed[idx]
+		if haveOpen && (openStart > w.startNs || (openStart == w.startNs && openLabel > w.label)) {
+			return openLabel
+		}
+		if w.endNs > t {
+			return w.label
+		}
+		// Windows are non-overlapping per label but may nest across
+		// labels; scan a few earlier windows, giving up past the
+		// staleness horizon (as the batch pass did).
+		if t-w.startNs > 1<<40 {
+			return -1
+		}
+	}
+	if haveOpen {
+		return openLabel
+	}
+	return -1
+}

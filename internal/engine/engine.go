@@ -49,6 +49,11 @@ type Scenario struct {
 	// Seed, when nonzero, overrides Config.Seed. Grids derive it per
 	// point with DeriveSeed so trial seeds decorrelate deterministically.
 	Seed uint64
+	// SinkFactory, when non-nil, overrides Config.SinkFactory for this
+	// scenario: the factory runs on the executing worker, once per
+	// run, so every scenario gets a private sink chain (aggregate-only
+	// sweeps stream entire grids without materializing a sample).
+	SinkFactory core.SinkFactory
 }
 
 // Result pairs a scenario with its outcome. Exactly one of Profile
@@ -168,6 +173,9 @@ func runScenario(sc *Scenario) (prof *core.Profile, err error) {
 	cfg := sc.Config
 	if sc.Seed != 0 {
 		cfg.Seed = sc.Seed
+	}
+	if sc.SinkFactory != nil {
+		cfg.SinkFactory = sc.SinkFactory
 	}
 	m := machine.New(sc.Spec)
 	s, err := core.NewSession(cfg, m)

@@ -60,7 +60,7 @@ func CrossBackendSweep(sc Scale, workload string, periods []uint64) (*CrossBacke
 			for t := 0; t < sc.Trials; t++ {
 				scs = append(scs, bsc.scenario(
 					fmt.Sprintf("%s/%s/period=%d/trial=%d", kind, workload, period, t),
-					workload, sc.Threads, bsc.samplingConfig(period, t)))
+					workload, sc.Threads, bsc.aggregateConfig(period, t)))
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"nmo/internal/perfev"
 	"nmo/internal/sampler"
 	"nmo/internal/sim"
+	"nmo/internal/trace"
 	"nmo/internal/workloads"
 )
 
@@ -227,5 +228,23 @@ func (sc Scale) samplingConfig(period uint64, trial int) core.Config {
 		IRQDeadTime:  20_000,
 		MinAuxPages:  4,
 	}
+	return cfg
+}
+
+// AggregateSinks is the aggregate-only sink factory: rolling MD5 plus
+// level/region/kernel histograms, no per-sample retention or
+// allocation. The sweeps that consume only counters and wall times
+// (period, aux, thread, cross-backend grids) run every scenario
+// through it, so sweep memory no longer grows with samples × scenarios
+// and MaxSamples cannot clip the high-pressure points.
+func AggregateSinks(meta trace.Meta) (trace.Sink, error) {
+	return trace.NewAggregate(meta), nil
+}
+
+// aggregateConfig is samplingConfig with the aggregate-only sink chain
+// — the configuration for sweeps that never read Profile.Trace.
+func (sc Scale) aggregateConfig(period uint64, trial int) core.Config {
+	cfg := sc.samplingConfig(period, trial)
+	cfg.SinkFactory = AggregateSinks
 	return cfg
 }

@@ -32,6 +32,7 @@ func TestTable1MatchesPaperDefaults(t *testing.T) {
 		"NMO_TRACK_RSS":  "off",
 		"NMO_BUFSIZE":    "1",
 		"NMO_AUXBUFSIZE": "1",
+		"NMO_TRACE_OUT":  "off (collect in memory)",
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(want))

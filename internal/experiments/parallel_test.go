@@ -1,8 +1,16 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"nmo/internal/engine"
+	"nmo/internal/trace"
+	"nmo/internal/workloads"
 )
 
 // determinismScale is deliberately small: the jobs=1 vs jobs=8
@@ -66,5 +74,70 @@ func TestRegionTraceMD5IdenticalAcrossJobs(t *testing.T) {
 	}
 	if a.Trace.MD5() != b.Trace.MD5() {
 		t.Error("trace MD5 differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestStreamedSinksIdenticalAcrossJobs pins the streaming pipeline's
+// determinism end to end: scenarios that stream to v2 files and
+// aggregate-only sinks must produce bit-identical checksums at jobs=1
+// and jobs=8 — the emit-time attribution and reorder buffer must not
+// depend on scheduling.
+func TestStreamedSinksIdenticalAcrossJobs(t *testing.T) {
+	run := func(jobs int, dir string) [][16]byte {
+		sc := determinismScale(jobs)
+		var scs []engine.Scenario
+		for i := 0; i < 4; i++ {
+			cfg := sc.samplingConfig(1500+uint64(i)*500, i)
+			cfg.TraceOut = filepath.Join(dir, fmt.Sprintf("j%d_%d.nmo2", jobs, i))
+			cfg.TraceBlockSamples = 32
+			scs = append(scs, sc.scenario(
+				fmt.Sprintf("stream/v2/%d", i), "stream", sc.Threads, cfg))
+			scs = append(scs, engine.Scenario{
+				Name:        fmt.Sprintf("stream/agg/%d", i),
+				Spec:        sc.specFor(),
+				Config:      sc.samplingConfig(1500+uint64(i)*500, i),
+				SinkFactory: AggregateSinks,
+				Workload: func() (workloads.Workload, error) {
+					return sc.workloadFor("stream", sc.Threads)
+				},
+			})
+		}
+		profs, err := engine.Profiles(sc.runner().RunAll(scs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sums [][16]byte
+		for _, p := range profs {
+			sums = append(sums, p.MD5)
+		}
+		return sums
+	}
+	dir := t.TempDir()
+	serial := run(1, dir)
+	parallel := run(8, dir)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("streamed MD5s differ between jobs=1 and jobs=8:\n%x\nvs\n%x",
+			serial, parallel)
+	}
+	// The v2 files themselves must be byte-identical across shardings.
+	for i := 0; i < 4; i++ {
+		a, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("j1_%d.nmo2", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("j8_%d.nmo2", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("v2 file %d differs between jobs=1 and jobs=8", i)
+		}
+		rd, err := trace.OpenV2(bytes.NewReader(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.MD5() != serial[i*2] {
+			t.Errorf("file %d footer MD5 differs from profile MD5", i)
+		}
 	}
 }

@@ -40,14 +40,15 @@ type PeriodSweepResult struct {
 // The whole grid — baseline included — is submitted as one scenario
 // batch and shards across Scale.Jobs workers; aggregation walks the
 // results in submission order, so the tables are identical at any
-// worker count.
+// worker count. The sweep consumes only counters, so every scenario
+// runs with the aggregate-only sink chain: no sample is ever stored.
 func PeriodSweep(sc Scale, workload string, periods []uint64) (*PeriodSweepResult, error) {
 	scs := []engine.Scenario{sc.baselineScenario(workload, sc.Threads)}
 	for _, period := range periods {
 		for t := 0; t < sc.Trials; t++ {
 			scs = append(scs, sc.scenario(
 				fmt.Sprintf("%s/period=%d/trial=%d", workload, period, t),
-				workload, sc.Threads, sc.samplingConfig(period, t)))
+				workload, sc.Threads, sc.aggregateConfig(period, t)))
 		}
 	}
 	profs, err := engine.Profiles(sc.runner().RunAll(scs))
@@ -104,9 +105,10 @@ type AuxSweepResult struct {
 	Points   []AuxPoint
 }
 
-// fig9Config is the per-trial configuration of the aux sweep.
+// fig9Config is the per-trial configuration of the aux sweep
+// (aggregate-only: the sweep reads counters, never samples).
 func (sc Scale) fig9Config(period uint64, pages, trial int) core.Config {
-	cfg := sc.samplingConfig(period, trial)
+	cfg := sc.aggregateConfig(period, trial)
 	cfg.AuxPages = pages
 	cfg.RingPages = 8 // paper: ring buffer fixed to 9 pages
 	// Watermark at its half-buffer default: the wakeup (and its dead
@@ -178,9 +180,10 @@ type ThreadSweepResult struct {
 	Points   []ThreadPoint
 }
 
-// fig10Config is the per-trial configuration of the thread sweep.
+// fig10Config is the per-trial configuration of the thread sweep
+// (aggregate-only: the sweep reads counters, never samples).
 func (sc Scale) fig10Config(period uint64, auxPages, trial int) core.Config {
-	cfg := sc.samplingConfig(period, trial)
+	cfg := sc.aggregateConfig(period, trial)
 	cfg.AuxPages = auxPages
 	cfg.RingPages = 8
 	// A low watermark keeps wakeups (and hence interrupt + monitor-

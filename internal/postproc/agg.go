@@ -1,0 +1,184 @@
+package postproc
+
+import (
+	"math"
+	"sort"
+
+	"nmo/internal/trace"
+)
+
+// Agg is an online aggregation fed by a single scan. Run drives any
+// number of them over one pass through the source, which is what
+// makes multi-table post-processing of an on-disk trace one-scan
+// cheap instead of one-scan-per-table.
+type Agg interface {
+	Add(*trace.Sample)
+}
+
+// Run feeds every matching sample to all aggs in one scan and returns
+// the source's scan error (nil for in-memory sources).
+func (q *Q) Run(aggs ...Agg) error {
+	return q.scan(func(s *trace.Sample) {
+		for _, a := range aggs {
+			a.Add(s)
+		}
+	})
+}
+
+// CountAgg counts matching samples.
+type CountAgg struct{ N uint64 }
+
+// Add counts the sample.
+func (c *CountAgg) Add(*trace.Sample) { c.N++ }
+
+// GroupCountAgg counts samples per key — the online form of
+// Q.GroupCount, shareable across one scan with other aggregations.
+type GroupCountAgg struct {
+	key Key
+	m   map[string]int
+}
+
+// NewGroupCount builds a keyed counter.
+func NewGroupCount(key Key) *GroupCountAgg {
+	return &GroupCountAgg{key: key, m: map[string]int{}}
+}
+
+// Add counts the sample under its key.
+func (g *GroupCountAgg) Add(s *trace.Sample) { g.m[g.key(s)]++ }
+
+// Groups returns the counts sorted by key.
+func (g *GroupCountAgg) Groups() []Group {
+	out := make([]Group, 0, len(g.m))
+	for k, c := range g.m {
+		out = append(out, Group{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Counts returns the raw key -> count map.
+func (g *GroupCountAgg) Counts() map[string]int { return g.m }
+
+// MeanAgg accumulates the mean of a projected value.
+type MeanAgg struct {
+	proj   func(*trace.Sample) float64
+	sum, n float64
+}
+
+// NewMeanLatency builds the mean-latency aggregation.
+func NewMeanLatency() *MeanAgg {
+	return &MeanAgg{proj: func(s *trace.Sample) float64 { return float64(s.Lat) }}
+}
+
+// Add accumulates the sample's projection.
+func (m *MeanAgg) Add(s *trace.Sample) { m.sum += m.proj(s); m.n++ }
+
+// Mean returns the accumulated mean (0 for empty).
+func (m *MeanAgg) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / m.n
+}
+
+// LatHistAgg is an exact latency histogram: Lat is 16-bit, so 64K
+// buckets give exact percentiles of arbitrarily large traces in
+// constant memory — the out-of-core replacement for sorting all
+// latencies.
+type LatHistAgg struct {
+	buckets []uint64
+	n       uint64
+}
+
+// NewLatHist builds the latency histogram.
+func NewLatHist() *LatHistAgg {
+	return &LatHistAgg{buckets: make([]uint64, 1<<16)}
+}
+
+// Add buckets the sample's latency.
+func (h *LatHistAgg) Add(s *trace.Sample) { h.buckets[s.Lat]++; h.n++ }
+
+// Percentile returns the p-th percentile (0–100) by nearest rank.
+func (h *LatHistAgg) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for lat, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return float64(lat)
+		}
+	}
+	return float64(len(h.buckets) - 1)
+}
+
+// HashAgg folds samples into the rolling trace checksum — used to
+// verify a v2 file's footer MD5 during the same scan that feeds the
+// tables.
+type HashAgg struct{ h *trace.Hash }
+
+// NewHash builds the checksum aggregation.
+func NewHash() *HashAgg { return &HashAgg{h: trace.NewHash()} }
+
+// Add hashes the sample.
+func (a *HashAgg) Add(s *trace.Sample) { a.h.Emit(s) }
+
+// Sum16 returns the rolling checksum.
+func (a *HashAgg) Sum16() [16]byte { return a.h.Sum16() }
+
+// LevelAgg counts samples per memory level — the trace.LevelHist sink
+// wearing the Agg interface, so the bucketing rule lives in one place.
+type LevelAgg struct{ trace.LevelHist }
+
+// Add counts the sample's data-source level.
+func (l *LevelAgg) Add(s *trace.Sample) { l.Emit(s) }
+
+// Summary is the standard single-pass digest of a sample stream: the
+// aggregations both CLIs render, produced by one scan so an on-disk
+// trace is read exactly once.
+type Summary struct {
+	Count    uint64
+	ByRegion *GroupCountAgg
+	ByKernel *GroupCountAgg
+	ByCore   *GroupCountAgg
+	Levels   LevelAgg
+	Lat      *LatHistAgg
+	MeanLat  *MeanAgg
+	MD5      [16]byte
+}
+
+// Summarize runs the standard digest over the query in a single pass.
+// withHash folds the rolling checksum into the same pass (Summary.MD5
+// stays zero without it) — hashing re-encodes every sample, the most
+// expensive per-sample work of the scan, so callers that discard the
+// checksum skip it.
+func Summarize(q *Q, withHash bool) (*Summary, error) {
+	meta := q.Meta()
+	s := &Summary{
+		ByRegion: NewGroupCount(ByRegionNames(meta.Regions)),
+		ByKernel: NewGroupCount(ByKernelNames(meta.Kernels)),
+		ByCore:   NewGroupCount(ByCore()),
+		Lat:      NewLatHist(),
+		MeanLat:  NewMeanLatency(),
+	}
+	var count CountAgg
+	aggs := []Agg{&count, s.ByRegion, s.ByKernel, s.ByCore, &s.Levels, s.Lat, s.MeanLat}
+	var hash *HashAgg
+	if withHash {
+		hash = NewHash()
+		aggs = append(aggs, hash)
+	}
+	if err := q.Run(aggs...); err != nil {
+		return nil, err
+	}
+	s.Count = count.N
+	if hash != nil {
+		s.MD5 = hash.Sum16()
+	}
+	return s, nil
+}

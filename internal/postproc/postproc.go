@@ -3,14 +3,25 @@
 // visualization are enabled by NMO's extensible scripting component
 // ... users can write their own in Python to process the performance
 // data"). Instead of Python, it provides a composable query pipeline
-// over sample traces: filters, projections, group-bys, temporal
+// over sample streams: filters, projections, group-bys, temporal
 // windows, and exporters, all chainable and lazily evaluated.
+//
+// Queries run against a trace.SampleSource — an in-memory *Trace or
+// an out-of-core v2 ReaderV2 — so the same pipeline works whether the
+// samples fit in memory or not. Structured combinators (TimeBetween,
+// OnCores) push their predicates down to the source as ScanHints: a
+// v2 reader skips whole blocks whose footer-index entry cannot match,
+// without touching their bytes.
 //
 //	q := postproc.Query(tr).
 //	    Filter(postproc.InRegion(tr, "a")).
 //	    Filter(postproc.StoresOnly()).
 //	    Window(1e6) // 1 ms buckets
 //	counts := q.GroupCount(postproc.ByCore())
+//
+// One scan can feed several aggregations at once (Run), which is how
+// the CLIs derive every table of a large on-disk trace in a single
+// pass.
 package postproc
 
 import (
@@ -26,23 +37,67 @@ type Pred func(*trace.Sample) bool
 // Key projects a sample to a grouping key.
 type Key func(*trace.Sample) string
 
-// Q is a lazily-evaluated query over a trace's samples. Q values are
+// Q is a lazily-evaluated query over a sample source. Q values are
 // immutable; each combinator returns a new query.
 type Q struct {
-	tr    *trace.Trace
+	src   trace.SampleSource
+	meta  trace.Meta
 	preds []Pred
+	hints trace.ScanHints
 }
 
-// Query starts a pipeline over tr.
-func Query(tr *trace.Trace) *Q {
-	return &Q{tr: tr}
+// Query starts a pipeline over an in-memory trace.
+func Query(tr *trace.Trace) *Q { return From(tr) }
+
+// From starts a pipeline over any sample source (in-memory trace or
+// out-of-core v2 reader).
+func From(src trace.SampleSource) *Q {
+	return &Q{src: src, meta: src.Meta()}
+}
+
+// Meta returns the source's stream identity (workload, name tables).
+func (q *Q) Meta() trace.Meta { return q.meta }
+
+// clone copies the query with room for one more predicate.
+func (q *Q) clone() *Q {
+	nq := &Q{src: q.src, meta: q.meta, hints: q.hints,
+		preds: make([]Pred, len(q.preds), len(q.preds)+1)}
+	copy(nq.preds, q.preds)
+	return nq
 }
 
 // Filter adds a predicate; samples must satisfy all predicates.
 func (q *Q) Filter(p Pred) *Q {
-	nq := &Q{tr: q.tr, preds: make([]Pred, len(q.preds)+1)}
-	copy(nq.preds, q.preds)
-	nq.preds[len(q.preds)] = p
+	nq := q.clone()
+	nq.preds = append(nq.preds, p)
+	return nq
+}
+
+// TimeBetween keeps samples with lo <= TimeNs < hi (hi == 0 means
+// unbounded above) and pushes the bound down to the source, which may
+// skip whole blocks outside it.
+func (q *Q) TimeBetween(lo, hi uint64) *Q {
+	nq := q.Filter(TimeRangeOpen(lo, hi))
+	if lo > nq.hints.TimeLo {
+		nq.hints.TimeLo = lo
+	}
+	if hi != 0 && (nq.hints.TimeHi == 0 || hi < nq.hints.TimeHi) {
+		nq.hints.TimeHi = hi
+	}
+	return nq
+}
+
+// OnCores keeps samples from the given hardware threads and pushes the
+// core set down to the source as a block-skip mask.
+func (q *Q) OnCores(cores ...int16) *Q {
+	set := make(map[int16]bool, len(cores))
+	var mask uint64
+	for _, c := range cores {
+		set[c] = true
+		mask |= trace.CoreBit(c)
+	}
+	nq := q.Filter(func(s *trace.Sample) bool { return set[s.Core] })
+	nq.hints.CoreMask |= mask
 	return nq
 }
 
@@ -56,14 +111,30 @@ func (q *Q) match(s *trace.Sample) bool {
 	return true
 }
 
-// Each visits every matching sample.
-func (q *Q) Each(fn func(*trace.Sample)) {
-	for i := range q.tr.Samples {
-		s := &q.tr.Samples[i]
+// scan streams matching samples from the source. Sources may
+// over-deliver relative to the pushed-down hints (block granularity);
+// the predicates do the exact filtering.
+func (q *Q) scan(fn func(*trace.Sample)) error {
+	return q.src.Scan(q.hints, func(s *trace.Sample) {
 		if q.match(s) {
 			fn(s)
 		}
-	}
+	})
+}
+
+// Each visits every matching sample. It has no error path, which is
+// only sound for in-memory sources (their scans cannot fail); on an
+// out-of-core source a mid-scan I/O failure would silently truncate
+// the visit, so fallible sources must go through EachErr or Run,
+// which propagate the scan error.
+func (q *Q) Each(fn func(*trace.Sample)) {
+	_ = q.scan(fn)
+}
+
+// EachErr visits every matching sample and returns the source's scan
+// error — the out-of-core form of Each.
+func (q *Q) EachErr(fn func(*trace.Sample)) error {
+	return q.scan(fn)
 }
 
 // Count returns the number of matching samples.
@@ -203,25 +274,40 @@ func TimeRange(lo, hi uint64) Pred {
 	return func(s *trace.Sample) bool { return s.TimeNs >= lo && s.TimeNs < hi }
 }
 
+// TimeRangeOpen keeps samples with lo <= TimeNs < hi, where hi == 0
+// means unbounded above (the TimeBetween push-down predicate).
+func TimeRangeOpen(lo, hi uint64) Pred {
+	return func(s *trace.Sample) bool {
+		return s.TimeNs >= lo && (hi == 0 || s.TimeNs < hi)
+	}
+}
+
 // --- keys ---
 
 // ByRegion groups by tagged region name.
-func ByRegion(tr *trace.Trace) Key {
+func ByRegion(tr *trace.Trace) Key { return ByRegionNames(tr.Regions) }
+
+// ByRegionNames groups by tagged region name, given the name table
+// directly (for sources without an in-memory trace, e.g. v2 readers).
+func ByRegionNames(regions []string) Key {
 	return func(s *trace.Sample) string {
-		if s.Region < 0 || int(s.Region) >= len(tr.Regions) {
+		if s.Region < 0 || int(s.Region) >= len(regions) {
 			return "-"
 		}
-		return tr.Regions[s.Region]
+		return regions[s.Region]
 	}
 }
 
 // ByKernel groups by tagged phase name.
-func ByKernel(tr *trace.Trace) Key {
+func ByKernel(tr *trace.Trace) Key { return ByKernelNames(tr.Kernels) }
+
+// ByKernelNames groups by tagged phase name from a bare name table.
+func ByKernelNames(kernels []string) Key {
 	return func(s *trace.Sample) string {
-		if s.Kernel < 0 || int(s.Kernel) >= len(tr.Kernels) {
+		if s.Kernel < 0 || int(s.Kernel) >= len(kernels) {
 			return "-"
 		}
-		return tr.Kernels[s.Kernel]
+		return kernels[s.Kernel]
 	}
 }
 

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -20,18 +21,34 @@ type Table struct {
 	Rows    [][]string
 }
 
-// AddRow appends a row; values are formatted with %v.
+// AddRow appends a row. Floating-point cells — float64, float32, and
+// any named type with a float kind — render as %.3f so numeric columns
+// stay aligned and comparable; everything else formats with %v.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
+		row[i] = formatCell(c)
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case nil:
+		return fmt.Sprintf("%v", c)
+	case float64:
+		return fmt.Sprintf("%.3f", v)
+	case float32:
+		return fmt.Sprintf("%.3f", v)
+	case string:
+		return v
+	}
+	// Typed numeric aliases (e.g. "type GiBps float64") reach here;
+	// they must not fall through to %v's full-precision form.
+	if rv := reflect.ValueOf(c); rv.Kind() == reflect.Float32 || rv.Kind() == reflect.Float64 {
+		return fmt.Sprintf("%.3f", rv.Float())
+	}
+	return fmt.Sprintf("%v", c)
 }
 
 // Render writes the table.
@@ -89,6 +106,18 @@ func SortedKeys(m map[string]int) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// LevelTable renders the per-memory-level sample counts with the one
+// canonical title, so every CLI prints the same table for the same
+// data.
+func LevelTable(w io.Writer, by [4]uint64) error {
+	t := &Table{Title: "Samples by memory level (data source)",
+		Headers: []string{"level", "count"}}
+	for i, name := range []string{"L1", "L2", "SLC", "DRAM"} {
+		t.AddRow(name, by[i])
+	}
+	return t.Render(w)
 }
 
 // Pct formats a ratio as a percentage string.

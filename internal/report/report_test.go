@@ -39,6 +39,32 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// gibps is a typed float alias like the ones experiment results carry.
+type gibps float64
+
+func TestAddRowNormalizesFloats(t *testing.T) {
+	tb := &Table{Headers: []string{"kind", "value"}}
+	tb.AddRow("float64", 1.0/3.0)
+	tb.AddRow("float32", float32(0.25))
+	tb.AddRow("alias", gibps(123.456789))
+	tb.AddRow("int", 7)
+	tb.AddRow("string", "raw")
+	tb.AddRow("nil", nil)
+	want := [][2]string{
+		{"float64", "0.333"},
+		{"float32", "0.250"},
+		{"alias", "123.457"},
+		{"int", "7"},
+		{"string", "raw"},
+		{"nil", "<nil>"},
+	}
+	for i, w := range want {
+		if tb.Rows[i][0] != w[0] || tb.Rows[i][1] != w[1] {
+			t.Errorf("row %d = %v, want %v", i, tb.Rows[i], w)
+		}
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if got := Pct(0.1234); got != "12.34%" {
 		t.Errorf("Pct = %q", got)

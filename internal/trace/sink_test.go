@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+func emitAll(t *testing.T, sk Sink, tr *Trace) {
+	t.Helper()
+	for i := range tr.Samples {
+		if err := sk.Emit(&tr.Samples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sk.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectMatchesTrace(t *testing.T) {
+	src := synthTrace(100)
+	dst := &Trace{Workload: src.Workload, Regions: src.Regions, Kernels: src.Kernels}
+	c := NewCollect(dst, 1<<20)
+	emitAll(t, c, src)
+	if len(dst.Samples) != 100 || c.Truncated != 0 {
+		t.Fatalf("collected %d, truncated %d", len(dst.Samples), c.Truncated)
+	}
+	if dst.MD5() != src.MD5() {
+		t.Error("collected trace hashes differently")
+	}
+}
+
+func TestCollectCapCountsTruncated(t *testing.T) {
+	src := synthTrace(100)
+	dst := &Trace{}
+	c := NewCollect(dst, 30)
+	emitAll(t, c, src)
+	if len(dst.Samples) != 30 {
+		t.Errorf("stored %d, cap 30", len(dst.Samples))
+	}
+	if c.Truncated != 70 {
+		t.Errorf("truncated = %d, want 70", c.Truncated)
+	}
+	// Max < 0 means unlimited; Max == 0 stores nothing (MaxSamples
+	// semantics).
+	unl := NewCollect(&Trace{}, -1)
+	emitAll(t, unl, src)
+	if len(unl.Trace.Samples) != 100 || unl.Truncated != 0 {
+		t.Error("negative cap should be unlimited")
+	}
+	zero := NewCollect(&Trace{}, 0)
+	emitAll(t, zero, src)
+	if len(zero.Trace.Samples) != 0 || zero.Truncated != 100 {
+		t.Errorf("zero cap: stored %d truncated %d", len(zero.Trace.Samples), zero.Truncated)
+	}
+}
+
+func TestHashSinkMatchesTraceMD5(t *testing.T) {
+	src := synthTrace(64)
+	h := NewHash()
+	emitAll(t, h, src)
+	if h.Sum16() != src.MD5() {
+		t.Error("hash sink differs from Trace.MD5")
+	}
+	if h.Count() != 64 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	src := synthTrace(40)
+	h1, h2 := NewHash(), NewHash()
+	dst := &Trace{}
+	tee := NewTee(h1, NewCollect(dst, -1), h2)
+	emitAll(t, tee, src)
+	if h1.Sum16() != src.MD5() || h2.Sum16() != src.MD5() {
+		t.Error("tee'd hashes diverge")
+	}
+	if len(dst.Samples) != 40 {
+		t.Errorf("tee'd collect has %d samples", len(dst.Samples))
+	}
+}
+
+type failSink struct{ calls int }
+
+func (f *failSink) Emit(*Sample) error { f.calls++; return errors.New("boom") }
+func (f *failSink) Close() error       { return nil }
+
+func TestTeeStopsAtFirstEmitError(t *testing.T) {
+	h := NewHash()
+	tee := NewTee(&failSink{}, h)
+	if err := tee.Emit(&Sample{}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if h.Count() != 0 {
+		t.Error("sink after the failing one still received the sample")
+	}
+}
+
+func TestCountHistsMatchBatchCounts(t *testing.T) {
+	src := synthTrace(200)
+	meta := src.Meta()
+	rh, kh := NewRegionHist(meta), NewKernelHist(meta)
+	var lh LevelHist
+	emitAll(t, NewTee(rh, kh, &lh), src)
+
+	wantR, wantK := src.CountByRegion(), src.CountByKernel()
+	gotR, gotK := rh.Counts(), kh.Counts()
+	for k, v := range wantR {
+		if gotR[k] != v {
+			t.Errorf("region %q = %d, want %d", k, gotR[k], v)
+		}
+	}
+	if len(gotR) != len(wantR) {
+		t.Errorf("region keys %v vs %v", gotR, wantR)
+	}
+	for k, v := range wantK {
+		if gotK[k] != v {
+			t.Errorf("kernel %q = %d, want %d", k, gotK[k], v)
+		}
+	}
+	var total uint64
+	for _, n := range lh.By {
+		total += n
+	}
+	if total != 200 {
+		t.Errorf("level histogram total = %d", total)
+	}
+}
+
+func TestAggregateSink(t *testing.T) {
+	src := synthTrace(128)
+	a := NewAggregate(src.Meta())
+	emitAll(t, a, src)
+	if a.Sum16() != src.MD5() {
+		t.Error("aggregate MD5 differs from Trace.MD5")
+	}
+	if a.Hash.Count() != 128 {
+		t.Errorf("count = %d", a.Hash.Count())
+	}
+	if got, want := a.Regions.Counts(), src.CountByRegion(); got["a"] != want["a"] {
+		t.Errorf("region a: %d vs %d", got["a"], want["a"])
+	}
+}
+
+func TestSeriesBuilderParity(t *testing.T) {
+	b := NewSeriesBuilder("bw", "GiBps")
+	ref := Series{Name: "bw", Unit: "GiBps"}
+	for i, v := range []float64{10, 30, 20, 5} {
+		b.Add(float64(i), v)
+		ref.Points = append(ref.Points, Point{TimeSec: float64(i), Value: v})
+	}
+	s := b.Series()
+	if s.Max() != ref.Max() || b.Max() != ref.Max() {
+		t.Errorf("max: %v/%v vs %v", s.Max(), b.Max(), ref.Max())
+	}
+	if s.Mean() != ref.Mean() || b.Mean() != ref.Mean() {
+		t.Errorf("mean: %v/%v vs %v", s.Mean(), b.Mean(), ref.Mean())
+	}
+	if b.Last() != ref.Last() || b.Count() != 4 {
+		t.Errorf("last/count: %v/%d", b.Last(), b.Count())
+	}
+	if len(s.Points) != 4 {
+		t.Errorf("points = %d", len(s.Points))
+	}
+
+	// Aggregate-only mode: stats survive, points do not.
+	d := NewSeriesBuilder("cap", "GiB")
+	d.KeepPoints = false
+	d.Add(0, 7)
+	d.Add(1, 3)
+	if len(d.Series().Points) != 0 {
+		t.Error("KeepPoints=false retained points")
+	}
+	if d.Max() != 7 || d.Mean() != 5 {
+		t.Errorf("aggregates: max %v mean %v", d.Max(), d.Mean())
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+// ScanHints narrows a SampleSource scan. Hints are an optimization
+// contract, not a filter: a source uses them to skip work it can prove
+// irrelevant (the v2 reader skips whole blocks via the footer index)
+// but MAY deliver samples outside the hinted bounds — callers that
+// need exact bounds filter the delivered samples themselves. The zero
+// value admits everything.
+type ScanHints struct {
+	// TimeLo / TimeHi bound sample timestamps to [TimeLo, TimeHi);
+	// zero means unbounded on that side.
+	TimeLo uint64
+	TimeHi uint64
+	// CoreMask is an OR of CoreBit values; zero admits every core.
+	CoreMask uint64
+}
+
+// Admits reports whether a block with the given index entry could
+// contain a sample matching the hints.
+func (h ScanHints) Admits(b BlockInfo) bool {
+	if h.TimeHi != 0 && b.TimeMin >= h.TimeHi {
+		return false
+	}
+	if h.TimeLo != 0 && b.TimeMax < h.TimeLo {
+		return false
+	}
+	if h.CoreMask != 0 && b.CoreMask&h.CoreMask == 0 {
+		return false
+	}
+	return true
+}
+
+// SampleSource streams attributed samples: an in-memory Trace or an
+// out-of-core v2 ReaderV2. The *Sample passed to fn points into a
+// source-owned buffer that is invalid after fn returns; copy to keep.
+type SampleSource interface {
+	Meta() Meta
+	Scan(h ScanHints, fn func(*Sample)) error
+}
+
+// Scan visits every sample in stored order. The in-memory trace
+// ignores the hints (there is nothing to skip); callers filter.
+func (t *Trace) Scan(_ ScanHints, fn func(*Sample)) error {
+	for i := range t.Samples {
+		fn(&t.Samples[i])
+	}
+	return nil
+}

@@ -199,6 +199,13 @@ const (
 	sampleWireSize = 8 + 8 + 8 + 2 + 2 + 2 + 2 + 1 + 1 + 2 // padded to 36
 )
 
+// MagicV1 and MagicV2 are the leading magics of the two binary trace
+// formats, exported so tools can sniff a file's format.
+const (
+	MagicV1 uint32 = traceMagic
+	MagicV2 uint32 = traceMagicV2
+)
+
 func encodeSample(dst []byte, s *Sample) {
 	binary.LittleEndian.PutUint64(dst[0:], s.TimeNs)
 	binary.LittleEndian.PutUint64(dst[8:], s.VA)

@@ -32,6 +32,7 @@
 package nmo
 
 import (
+	"io"
 	"os"
 
 	"nmo/internal/analysis"
@@ -88,6 +89,38 @@ type Sample = trace.Sample
 
 // Series is a temporal metric (capacity GiB, bandwidth GiB/s).
 type Series = trace.Series
+
+// TraceMeta identifies a sample stream: workload plus the region and
+// kernel name tables its samples index.
+type TraceMeta = trace.Meta
+
+// TraceSink consumes a sample stream; the decode stage pushes every
+// attributed sample through the configured sink chain
+// (Config.SinkFactory), so run memory is what the sinks retain.
+type TraceSink = trace.Sink
+
+// SampleSource streams attributed samples for post-processing: an
+// in-memory Trace or an out-of-core v2 trace reader.
+type SampleSource = trace.SampleSource
+
+// TraceReaderV2 reads a blocked, indexed v2 trace file out-of-core.
+type TraceReaderV2 = trace.ReaderV2
+
+// TraceWriterV2 streams samples into the v2 format (it is a TraceSink).
+type TraceWriterV2 = trace.WriterV2
+
+// OpenTraceV2 opens a v2 trace for out-of-core reading: only the
+// header and footer block index load; samples stream block-by-block.
+func OpenTraceV2(r io.ReadSeeker) (*TraceReaderV2, error) { return trace.OpenV2(r) }
+
+// NewTraceWriterV2 starts a streamed v2 trace (blockSamples 0 = the
+// default block granularity).
+func NewTraceWriterV2(w io.Writer, meta TraceMeta, blockSamples int) (*TraceWriterV2, error) {
+	return trace.NewWriterV2(w, meta, blockSamples)
+}
+
+// ReadTraceBinary deserializes a v1 trace written by Trace.WriteBinary.
+func ReadTraceBinary(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
 
 // Machine is the simulated ARM platform workloads run on.
 type Machine = machine.Machine
