@@ -1,0 +1,92 @@
+// Command nmod is the nmo profiling daemon: a long-running service
+// that schedules simulation jobs, deduplicates identical submissions
+// through a content-addressed result cache, and streams v2 traces
+// over HTTP. It turns the one-shot CLIs into front-ends — nmoprof
+// -remote and nmostat -remote speak this API — and is the service
+// layer the ROADMAP's many-users north star needs.
+//
+//	nmod -addr :8077 -workers 4 -engine-jobs 2 -cache 512
+//
+//	# submit a sweep
+//	curl -s localhost:8077/v1/jobs -d '{
+//	  "scenarios": [{"workload": "stream", "threads": 8, "elems": 200000}]
+//	}'
+//	# poll, then stream the trace
+//	curl -s localhost:8077/v1/jobs/<id>
+//	curl -s localhost:8077/v1/jobs/<id>/trace -o run.nmo2
+//
+// Admission control: -workers bounds concurrently running jobs,
+// -queue bounds the waiting line (429 beyond it), and -backend-slots
+// caps how many running jobs may occupy one sampling backend, so a
+// flood of SPE sweeps cannot starve PEBS work (and vice versa).
+// Identical jobs — same canonical config, machine spec and workload
+// shape — are answered from the cache without re-simulating; the
+// simulator's determinism makes the cached bytes exactly what a fresh
+// run would produce.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nmo/internal/sampler"
+	"nmo/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 2, "concurrently running jobs")
+	queueCap := flag.Int("queue", 64, "max queued jobs (submissions beyond it get 429)")
+	engineJobs := flag.Int("engine-jobs", 1, "engine worker-pool size per job (results identical at any value)")
+	cacheCap := flag.Int("cache", 256, "max cached job results")
+	backendSlots := flag.Int("backend-slots", 0, "max running jobs per sampling backend (0 = unlimited)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queueCap, *engineJobs, *cacheCap, *backendSlots); err != nil {
+		fmt.Fprintln(os.Stderr, "nmod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueCap, engineJobs, cacheCap, backendSlots int) error {
+	cfg := service.SchedConfig{
+		Workers:    workers,
+		QueueCap:   queueCap,
+		EngineJobs: engineJobs,
+	}
+	if backendSlots > 0 {
+		cfg.BackendSlots = map[sampler.Kind]int{}
+		for _, k := range sampler.Kinds() {
+			cfg.BackendSlots[k] = backendSlots
+		}
+	}
+	sched := service.NewScheduler(cfg, service.NewCache(cacheCap))
+	defer sched.Close()
+
+	srv := &http.Server{Addr: addr, Handler: service.NewServer(sched)}
+
+	// Graceful shutdown: stop accepting, drain in-flight HTTP, then
+	// the deferred scheduler Close cancels whatever is still queued.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("nmod: listening on %s (%d workers, engine-jobs %d, queue %d, cache %d)\n",
+		addr, workers, engineJobs, queueCap, cacheCap)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("nmod: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}

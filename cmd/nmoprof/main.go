@@ -25,9 +25,16 @@
 // tables are derived afterwards by scanning the file out-of-core
 // (one pass, several aggregations). With several workloads the
 // workload name is inserted before the file extension.
+//
+// With -remote <addr> nothing simulates locally: the request becomes
+// an nmod job (cycle-level workloads only), the daemon runs — or
+// serves from its content-addressed cache — and the tables, counters
+// and trace files below come over HTTP. The streamed v2 file is
+// byte-identical to what the same invocation writes locally.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,31 +47,37 @@ import (
 	"nmo/internal/experiments"
 	"nmo/internal/postproc"
 	"nmo/internal/report"
+	"nmo/internal/service"
 	"nmo/internal/workloads"
 )
 
 func main() {
+	// Defaults shared with the nmod wire format (service.Default*), so
+	// a defaulted -remote submission equals a defaulted local run.
 	workload := flag.String("workload", "stream",
 		"comma-separated list of stream | cfd | bfs | pagerank | inmem")
-	threads := flag.Int("threads", 32, "worker threads (cycle-level workloads)")
-	elems := flag.Int("elems", 2_000_000, "elements/nodes for cycle-level workloads")
-	iters := flag.Int("iters", 2, "iterations for stream/cfd")
-	cores := flag.Int("cores", 128, "machine cores")
-	seed := flag.Uint64("seed", 42, "workload/profiler seed")
+	threads := flag.Int("threads", service.DefaultThreads, "worker threads (cycle-level workloads)")
+	elems := flag.Int("elems", service.DefaultElems, "elements/nodes for cycle-level workloads")
+	iters := flag.Int("iters", service.DefaultIters, "iterations for stream/cfd")
+	cores := flag.Int("cores", service.DefaultCores, "machine cores")
+	seed := flag.Uint64("seed", service.DefaultSeed, "workload/profiler seed")
 	jobs := flag.Int("jobs", 0, "parallel scenario workers (0 = one per CPU, 1 = serial)")
 	backend := flag.String("backend", "",
 		"sampling backend ("+nmo.SupportedBackends()+"); selects the machine ISA (default spe on ARM); overrides NMO_BACKEND")
 	traceOut := flag.String("trace-out", "",
 		"stream samples to an indexed v2 trace file (bounded memory); overrides NMO_TRACE_OUT")
+	remote := flag.String("remote", "",
+		"submit to an nmod daemon at this address instead of simulating locally")
+	priority := flag.Int("priority", 0, "remote mode: job priority (higher runs first)")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut, *remote, *priority); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut string) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut, remote string, priority int) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
@@ -80,6 +93,9 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 	}
 	if traceOut != "" {
 		cfg.TraceOut = traceOut
+	}
+	if remote != "" {
+		return runRemote(remote, workload, threads, elems, iters, cores, seed, priority, cfg)
 	}
 	if !cfg.Enable {
 		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
@@ -109,25 +125,19 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 	var scenarios []engine.Scenario
 	var cloud []string
 	for _, name := range names {
-		var factory engine.WorkloadFactory
 		switch name {
-		case "stream":
-			factory = func() (workloads.Workload, error) {
-				return nmo.NewStream(nmo.StreamConfig{Elems: elems, Threads: threads, Iters: iters}), nil
-			}
-		case "cfd":
-			factory = func() (workloads.Workload, error) {
-				return nmo.NewCFD(nmo.CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed}), nil
-			}
-		case "bfs":
-			factory = func() (workloads.Workload, error) {
-				return nmo.NewBFS(nmo.BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: 3, Seed: seed}), nil
-			}
 		case "pagerank", "inmem":
 			cloud = append(cloud, name)
 			continue
+		case "stream", "cfd", "bfs":
 		default:
 			return fmt.Errorf("unknown workload %q", name)
+		}
+		// The canonical constructor shared with the nmod resolver —
+		// remote and local runs build identical workloads.
+		name := name
+		factory := func() (workloads.Workload, error) {
+			return workloads.NewStandard(name, elems, threads, iters, seed)
 		}
 		// Each scenario writes its own v2 file: distinct paths when
 		// several workloads share one -trace-out request.
@@ -173,6 +183,163 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 		if err := writeSeries(base+".bandwidth.csv", &res.Bandwidth); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runRemote maps the CLI request onto a service JobSpec, submits it to
+// the nmod daemon, and renders the returned result document — the
+// tables arrive as data, so the output matches a local run's. With
+// -trace-out the job's v2 trace streams into the requested file(s);
+// resubmitting an identical request is a daemon cache hit and costs no
+// simulation.
+func runRemote(addr, workload string, threads, elems, iters, cores int, seed uint64, priority int, cfg nmo.Config) error {
+	if seed == 0 {
+		// The wire format uses 0 for "default seed"; submitting it
+		// would silently simulate seed 42 instead of seed 0.
+		return fmt.Errorf("-remote cannot represent -seed 0 (the wire treats 0 as \"use the default\"); pick a nonzero seed")
+	}
+	if cfg.Arch != "" {
+		// Unrepresentable on the wire: dropping it would happily run
+		// the wrong platform where a local run refuses to start.
+		return fmt.Errorf("-remote cannot represent NMO_ARCH=%s; pin the platform with -backend instead", cfg.Arch)
+	}
+	if err := cfg.Validate(); err != nil {
+		// Mirror the local rejection (e.g. NMO_TRACE_OUT with a
+		// non-sampling mode) instead of silently succeeding with no
+		// trace to download.
+		return err
+	}
+	ctx := context.Background()
+	mode := cfg.Mode.String()
+	if !cfg.Enable {
+		mode = "none"
+		fmt.Println("NMO_ENABLE is not set; submitting an uninstrumented timing run.")
+	}
+
+	var spec service.JobSpec
+	spec.Priority = priority
+	names := strings.Split(workload, ",")
+	for i := range names {
+		name := strings.TrimSpace(names[i])
+		switch name {
+		case "pagerank", "inmem":
+			return fmt.Errorf("workload %q is phase-level; the nmod service serves the cycle-level engine path (run it locally)", name)
+		}
+		spec.Scenarios = append(spec.Scenarios, service.ScenarioSpec{
+			Name:     name,
+			Workload: name,
+			Threads:  threads,
+			Elems:    elems,
+			Iters:    iters,
+			Cores:    cores,
+			Seed:     seed,
+			Backend:  string(cfg.Backend),
+			Mode:     mode,
+			Period:   cfg.Period,
+			TrackRSS: cfg.TrackRSS,
+			BufMiB:   cfg.BufMiB,
+			AuxMiB:   cfg.AuxMiB,
+		})
+	}
+
+	client := service.NewClient(addr)
+	info, err := client.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %s (key %.12s…, cached=%t)\n", info.ID, info.Key, info.Cached)
+	if info, err = client.Wait(ctx, info.ID, 0); err != nil {
+		return err
+	}
+	doc, err := client.Result(ctx, info.ID)
+	if err != nil {
+		return err
+	}
+
+	multi := len(spec.Scenarios) > 1
+	for _, sr := range doc.Scenarios {
+		fmt.Printf("workload %s, %d threads: wall %d cycles (%.3f ms simulated)\n",
+			sr.Workload, threads, sr.WallCycles, sr.WallSec*1e3)
+		if sr.Samples > 0 {
+			fmt.Printf("mem accesses: %d; %s samples: %d; Eq.(1) accuracy: %.2f%%\n",
+				sr.MemAccesses, strings.ToUpper(sr.Backend), sr.Samples, 100*sr.Accuracy)
+			fmt.Printf("trace MD5: %s (%d samples, %d blocks, %d bytes on the daemon)\n",
+				sr.TraceMD5, sr.TraceSamples, sr.TraceBlocks, sr.TraceBytes)
+			if err := report.RenderAll(os.Stdout, sr.Tables...); err != nil {
+				return err
+			}
+			fmt.Printf("sampled latency percentiles: p50=%.0f p90=%.0f p99=%.0f cycles\n",
+				sr.LatP50, sr.LatP90, sr.LatP99)
+		}
+		// Counters-mode temporal series arrive as data; write the same
+		// CSVs a local run would.
+		base := cfg.Name
+		if multi {
+			base = cfg.Name + "." + sr.Name
+		}
+		if sr.Bandwidth != nil {
+			if err := writeSeries(base+".bandwidth.csv", sr.Bandwidth); err != nil {
+				return err
+			}
+		}
+		if sr.Capacity != nil {
+			if err := writeSeries(base+".capacity.csv", sr.Capacity); err != nil {
+				return err
+			}
+		}
+		if cfg.TraceOut != "" && sr.TraceBytes > 0 {
+			path := cfg.TraceOut
+			if multi {
+				path = insertName(path, sr.Name)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			opt := service.NewTraceOptions()
+			opt.Scenario = sr.Name
+			n, _, err := client.DownloadTrace(ctx, info.ID, opt, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			// Verify the bytes that actually landed on disk — a
+			// corrupt download must fail the process, not just print;
+			// scripts key on the exit code for the byte-identical
+			// contract. (Comparing the response header against the
+			// result doc would be vacuous: both come from the same
+			// daemon field.)
+			if err := verifyDownload(path, sr.TraceMD5); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes streamed, MD5 %s verified)\n", path, n, sr.TraceMD5)
+		}
+	}
+	return nil
+}
+
+// verifyDownload re-opens a downloaded v2 trace and recomputes its
+// payload checksum, requiring footer, recomputed hash, and the
+// daemon-advertised hash to agree.
+func verifyDownload(path, wantHex string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := nmo.OpenTraceV2(f)
+	if err != nil {
+		return fmt.Errorf("downloaded trace %s is not a valid v2 file: %w", path, err)
+	}
+	sum, err := postproc.Summarize(postproc.From(rd), true)
+	if err != nil {
+		return fmt.Errorf("downloaded trace %s: %w", path, err)
+	}
+	got := fmt.Sprintf("%x", sum.MD5)
+	if got != wantHex || sum.MD5 != rd.MD5() {
+		return fmt.Errorf("downloaded trace %s: payload MD5 %s, footer %x, daemon advertised %s (corrupt download)",
+			path, got, rd.MD5(), wantHex)
 	}
 	return nil
 }

@@ -15,9 +15,17 @@
 //	nmostat -trace run.nmo2
 //	nmostat -trace run.nmo2 -from 1000000 -to 2000000 -core 3
 //	nmostat -trace legacy.trace.bin -format v1
+//
+// With -remote it inspects a trace held by an nmod daemon instead:
+// -job names the job, -scenario the scenario within it, and the same
+// time/core filters are pushed down to the daemon — whole blocks the
+// daemon's footer index rules out never cross the wire:
+//
+//	nmostat -remote localhost:8077 -job j0123abcd -from 1000000 -core 3
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -27,6 +35,7 @@ import (
 	"nmo"
 	"nmo/internal/postproc"
 	"nmo/internal/report"
+	"nmo/internal/service"
 	"nmo/internal/trace"
 )
 
@@ -46,6 +55,14 @@ type options struct {
 	fromNs uint64
 	toNs   uint64
 	core   int
+
+	// Remote inspection mode (-remote + -job): fetch a job's trace
+	// from an nmod daemon — the time/core flags push down to the
+	// daemon's block index, so only admitted blocks cross the wire —
+	// and inspect the downloaded stream.
+	remote   string
+	job      string
+	scenario string
 }
 
 func main() {
@@ -61,6 +78,9 @@ func main() {
 	flag.Uint64Var(&o.fromNs, "from", 0, "trace mode: keep samples with time >= from (ns)")
 	flag.Uint64Var(&o.toNs, "to", 0, "trace mode: keep samples with time < to (ns; 0 = unbounded)")
 	flag.IntVar(&o.core, "core", -1, "trace mode: keep samples from one core (-1 = all)")
+	flag.StringVar(&o.remote, "remote", "", "inspect a trace served by an nmod daemon at this address (with -job)")
+	flag.StringVar(&o.job, "job", "", "remote mode: job ID to inspect")
+	flag.StringVar(&o.scenario, "scenario", "", "remote mode: scenario name or index (default: the first)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -70,6 +90,9 @@ func main() {
 }
 
 func run(out io.Writer, o options) error {
+	if o.remote != "" {
+		return inspectRemote(out, o)
+	}
 	if o.trace != "" {
 		return inspectTrace(out, o)
 	}
@@ -108,6 +131,45 @@ func run(out io.Writer, o options) error {
 	t.AddRow("seconds (simulated)", fmt.Sprintf("%.6f", prof.WallSec))
 	t.AddRow("arithmetic intensity", fmt.Sprintf("%.4f flops/B", prof.ArithmeticIntensity()))
 	return t.Render(out)
+}
+
+// inspectRemote downloads a job's trace from an nmod daemon and
+// inspects it. The -from/-to/-core filters are applied server-side
+// (block-skip push-down on the daemon's stored blob, exact trim on
+// the survivors), so the download already contains only matching
+// samples; the local pass then runs unfiltered over the temp file.
+func inspectRemote(out io.Writer, o options) error {
+	if o.job == "" {
+		return fmt.Errorf("-remote needs -job <id> (submit with nmoprof -remote or curl)")
+	}
+	client := service.NewClient(o.remote)
+	tmp, err := os.CreateTemp("", "nmostat-*.nmo2")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+
+	opt := service.NewTraceOptions()
+	opt.Scenario = o.scenario
+	opt.FromNs, opt.ToNs, opt.Core = o.fromNs, o.toNs, o.core
+	n, _, err := client.DownloadTrace(context.Background(), o.job, opt, tmp)
+	if err != nil {
+		return err
+	}
+	filtered := o.fromNs != 0 || o.toNs != 0 || o.core >= 0
+	mode := "verbatim blob"
+	if filtered {
+		mode = "server-side filtered restream"
+	}
+	fmt.Fprintf(out, "fetched %d bytes from %s job %s (%s)\n", n, o.remote, o.job, mode)
+
+	// The downloaded stream is self-contained and pre-filtered;
+	// inspect it without reapplying the predicates.
+	local := o
+	local.trace, local.format = tmp.Name(), "v2"
+	local.fromNs, local.toNs, local.core = 0, 0, -1
+	return inspectTrace(out, local)
 }
 
 // inspectTrace reads a trace file and prints its sample tables. v2

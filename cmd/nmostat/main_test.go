@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"nmo"
+	"nmo/internal/service"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -181,5 +184,81 @@ func TestStatDeterministicAcrossRuns(t *testing.T) {
 	}
 	if !bytes.Equal(render(), render()) {
 		t.Error("two identical nmostat runs rendered different output")
+	}
+}
+
+// TestRemoteInspect drives the -remote mode against an in-process nmod
+// service: the inspector downloads the job's trace over HTTP (time
+// filters pushed down to the daemon) and its tables must match an
+// inspection of the byte-identical local file.
+func TestRemoteInspect(t *testing.T) {
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, service.NewCache(0))
+	defer sched.Close()
+	srv := httptest.NewServer(service.NewServer(sched))
+	defer srv.Close()
+
+	client := service.NewClient(srv.URL)
+	ctx := context.Background()
+	info, err := client.Submit(ctx, service.JobSpec{Scenarios: []service.ScenarioSpec{{
+		Workload: "stream", Threads: 4, Elems: 30_000, Iters: 2, Cores: 8, Seed: 42, Period: 700,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, info.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var remoteOut bytes.Buffer
+	err = run(&remoteOut, options{
+		remote: srv.URL, job: info.ID, core: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := remoteOut.String()
+	if !strings.Contains(out, "Samples by region") || !strings.Contains(out, "payload MD5") {
+		t.Errorf("remote inspection output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("remote trace failed checksum verification:\n%s", out)
+	}
+
+	// The local inspection of the downloaded-equivalent bytes prints
+	// the same tables: dump the blob to a file and inspect it.
+	dir := t.TempDir()
+	local := filepath.Join(dir, "remote.nmo2")
+	f, err := os.Create(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.DownloadTrace(ctx, info.ID, service.NewTraceOptions(), f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var localOut bytes.Buffer
+	if err := run(&localOut, options{trace: local, format: "v2", core: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs differ only in the fetch banner and the file name row;
+	// compare from the first table section onward.
+	tail := func(s string) string {
+		if i := strings.Index(s, "## Samples by region"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if tail(remoteOut.String()) != tail(localOut.String()) {
+		t.Errorf("remote and local inspections disagree:\n--- remote ---\n%s\n--- local ---\n%s",
+			tail(remoteOut.String()), tail(localOut.String()))
+	}
+
+	// Filtered remote inspection: the daemon trims server-side.
+	var filtered bytes.Buffer
+	if err := run(&filtered, options{remote: srv.URL, job: info.ID, core: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(filtered.String(), "server-side filtered restream") {
+		t.Errorf("filtered fetch not announced:\n%s", filtered.String())
 	}
 }

@@ -275,6 +275,42 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// CanonicalBytes returns a deterministic encoding of every field that
+// can change what a run computes: the Table I knobs, the code-level
+// attr knobs, the seed, and the kernel cost model, in fixed order.
+// Delivery-only fields are excluded on purpose — Name, SinkFactory,
+// TraceOut, TraceBlockSamples and MaxSamples choose where the sample
+// stream goes and how much of it is retained, not what the stream
+// contains — so two configurations with equal CanonicalBytes produce
+// bit-identical profiles (the simulator is deterministic, DESIGN.md
+// §7). The service layer's content-addressed result cache hashes this
+// encoding; core owns it so the semantic/delivery split stays next to
+// the fields it classifies.
+func (c Config) CanonicalBytes() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "enable=%t\n", c.Enable)
+	fmt.Fprintf(&b, "mode=%d\n", int(c.Mode))
+	fmt.Fprintf(&b, "backend=%s\n", c.Backend)
+	fmt.Fprintf(&b, "arch=%s\n", c.Arch)
+	fmt.Fprintf(&b, "period=%d\n", c.Period)
+	fmt.Fprintf(&b, "trackrss=%t\n", c.TrackRSS)
+	fmt.Fprintf(&b, "bufmib=%d\n", c.BufMiB)
+	fmt.Fprintf(&b, "auxmib=%d\n", c.AuxMiB)
+	fmt.Fprintf(&b, "ringpages=%d\n", c.RingPages)
+	fmt.Fprintf(&b, "auxpages=%d\n", c.AuxPages)
+	fmt.Fprintf(&b, "loads=%t\nstores=%t\n", c.SampleLoads, c.SampleStores)
+	fmt.Fprintf(&b, "jitter=%t\n", c.Jitter)
+	fmt.Fprintf(&b, "minlat=%d\n", c.MinLatencyFilter)
+	fmt.Fprintf(&b, "interval=%g\n", c.IntervalSec)
+	fmt.Fprintf(&b, "seed=%d\n", c.Seed)
+	fmt.Fprintf(&b, "pagebytes=%d\n", c.PageBytes)
+	fmt.Fprintf(&b, "auxwatermark=%d\n", c.AuxWatermarkBytes)
+	fmt.Fprintf(&b, "costs=%d,%d,%d,%g,%d,%d\n",
+		c.Costs.IRQBase, c.Costs.IRQPerRecord, c.Costs.DrainBase,
+		c.Costs.DrainPerByte, c.Costs.IRQDeadTime, c.Costs.MinAuxPages)
+	return []byte(b.String())
+}
+
 // FromEnv builds a Config from an environment lookup function
 // (pass os.Getenv in real use; tests inject maps). Unset variables
 // keep their Table I defaults. Errors identify the offending variable.

@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -101,6 +102,16 @@ func (r Runner) jobs(n int) int {
 // are recovered per worker) land in the corresponding Result; the
 // batch itself always completes unless FailFast is set.
 func (r Runner) RunAll(scenarios []Scenario) []Result {
+	return r.RunAllContext(context.Background(), scenarios)
+}
+
+// RunAllContext is RunAll with cooperative cancellation: scenarios
+// not yet started when ctx is canceled report ctx's error in their
+// Result instead of running. In-flight scenarios finish — the
+// simulator has no preemption points, so cancellation granularity is
+// one scenario. The long-running service layer uses this to abort
+// queued work on DELETE without tearing down the worker pool.
+func (r Runner) RunAllContext(ctx context.Context, scenarios []Scenario) []Result {
 	results := make([]Result, len(scenarios))
 	if len(scenarios) == 0 {
 		return results
@@ -110,6 +121,10 @@ func (r Runner) RunAll(scenarios []Scenario) []Result {
 	exec := func(i int) {
 		sc := &scenarios[i]
 		results[i].Name = sc.Name
+		if err := ctx.Err(); err != nil {
+			results[i].Err = err
+			return
+		}
 		if r.FailFast && failed.Load() {
 			results[i].Err = ErrSkipped
 			return

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -286,5 +287,51 @@ func TestRunnerJobsClamping(t *testing.T) {
 	}
 	if got := (Runner{Jobs: 2}).jobs(100); got != 2 {
 		t.Errorf("jobs = %d, want 2", got)
+	}
+}
+
+func TestRunAllContextPreCanceled(t *testing.T) {
+	// A batch submitted with an already-canceled context runs nothing:
+	// every result carries the context's error, names intact.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := Runner{Jobs: 2}.RunAllContext(ctx, testBatch(4))
+	for i, r := range rs {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("scenario %d err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Profile != nil {
+			t.Errorf("scenario %d ran despite canceled context", i)
+		}
+		if r.Name == "" {
+			t.Errorf("scenario %d lost its name", i)
+		}
+	}
+}
+
+func TestRunAllContextMidBatchCancel(t *testing.T) {
+	// Cancel fired by the second scenario's workload factory: with one
+	// worker, scenario 0 (in flight) completes, later scenarios that
+	// have not started report the cancellation. The already-started
+	// scenario 1 also completes — cancellation is checked at scenario
+	// boundaries only.
+	ctx, cancel := context.WithCancel(context.Background())
+	scs := testBatch(5)
+	orig := scs[1].Workload
+	scs[1].Workload = func() (workloads.Workload, error) {
+		cancel()
+		return orig()
+	}
+	rs := Runner{Jobs: 1}.RunAllContext(ctx, scs)
+	if rs[0].Err != nil {
+		t.Fatalf("scenario 0: %v", rs[0].Err)
+	}
+	if rs[1].Err != nil {
+		t.Fatalf("scenario 1 (canceled mid-run) should finish: %v", rs[1].Err)
+	}
+	for i := 2; i < len(rs); i++ {
+		if !errors.Is(rs[i].Err, context.Canceled) {
+			t.Errorf("scenario %d err = %v, want context.Canceled", i, rs[i].Err)
+		}
 	}
 }

@@ -97,6 +97,19 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// RenderAll renders several tables in order. Table values round-trip
+// through encoding/json unchanged (all fields are exported strings),
+// which is how the service layer ships result tables over the wire and
+// the remote CLIs re-render them with the exact local formatting.
+func RenderAll(w io.Writer, tables ...*Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SortedKeys returns a count-map's keys in sorted order, for
 // deterministic table rendering (Go map iteration order is random).
 func SortedKeys(m map[string]int) []string {
@@ -108,16 +121,22 @@ func SortedKeys(m map[string]int) []string {
 	return keys
 }
 
-// LevelTable renders the per-memory-level sample counts with the one
-// canonical title, so every CLI prints the same table for the same
-// data.
-func LevelTable(w io.Writer, by [4]uint64) error {
+// NewLevelTable builds the per-memory-level sample-count table with
+// the one canonical title and row set — every producer (CLIs, the
+// nmod result digest) builds through here, so local and daemon-served
+// tables cannot diverge.
+func NewLevelTable(by [4]uint64) *Table {
 	t := &Table{Title: "Samples by memory level (data source)",
 		Headers: []string{"level", "count"}}
 	for i, name := range []string{"L1", "L2", "SLC", "DRAM"} {
 		t.AddRow(name, by[i])
 	}
-	return t.Render(w)
+	return t
+}
+
+// LevelTable renders the canonical per-memory-level table.
+func LevelTable(w io.Writer, by [4]uint64) error {
+	return NewLevelTable(by).Render(w)
 }
 
 // Pct formats a ratio as a percentage string.

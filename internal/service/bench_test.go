@@ -1,0 +1,94 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchSpec is deliberately tiny: the benchmark measures the service
+// machinery (HTTP, scheduling, cache, digest), not the simulator.
+func benchSpec(seed uint64) JobSpec {
+	return JobSpec{Scenarios: []ScenarioSpec{{
+		Workload: "stream",
+		Threads:  2,
+		Elems:    20_000,
+		Iters:    1,
+		Cores:    4,
+		Seed:     seed,
+		Period:   700,
+	}}}
+}
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the
+// full HTTP stack, contrasting the cache-miss path (every submission
+// simulates) with the cache-hit path (every submission is answered
+// from the content-addressed store) — the service-level trajectory
+// recorded in BENCH_*.json by CI.
+func BenchmarkServiceThroughput(b *testing.B) {
+	run := func(b *testing.B, spec func(i int) JobSpec) {
+		sched := NewScheduler(SchedConfig{Workers: 2, QueueCap: 1 << 16}, NewCache(1<<16))
+		defer sched.Close()
+		srv := httptest.NewServer(NewServer(sched))
+		defer srv.Close()
+		client := NewClient(srv.URL)
+		ctx := context.Background()
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			info, err := client.Submit(ctx, spec(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := client.Wait(ctx, info.ID, time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		b.ReportMetric(float64(sched.EngineRuns()), "engine-runs")
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		// Every submission is a distinct content address: full
+		// simulate + digest + cache-fill cost per job.
+		run(b, func(i int) JobSpec { return benchSpec(uint64(1000 + i)) })
+	})
+	b.Run("hit", func(b *testing.B) {
+		// One address, submitted repeatedly: after the first fill the
+		// latency is pure service overhead.
+		run(b, func(int) JobSpec { return benchSpec(1) })
+	})
+}
+
+// BenchmarkServiceTraceStream measures streaming a cached trace blob
+// over HTTP (the hot read path of a dashboard polling one run).
+func BenchmarkServiceTraceStream(b *testing.B) {
+	sched := NewScheduler(SchedConfig{Workers: 1}, NewCache(0))
+	defer sched.Close()
+	srv := httptest.NewServer(NewServer(sched))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	info, err := client.Submit(ctx, benchSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, info.ID, time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		n, _, err := client.DownloadTrace(ctx, info.ID, NewTraceOptions(), &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n)
+	}
+}

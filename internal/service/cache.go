@@ -1,0 +1,180 @@
+package service
+
+import (
+	"sync"
+)
+
+// TraceBlob is one scenario's stored v2 trace: the exact bytes the
+// run's WriterV2 sink produced, plus the stream's rolling MD5. The
+// trace endpoint serves Data verbatim (unfiltered requests must be
+// byte-identical to a local run's file) or restreams a filtered copy.
+type TraceBlob struct {
+	Name string
+	Data []byte
+	MD5  [16]byte
+}
+
+// JobArtifacts is everything a finished job can serve: the result
+// document and one trace blob per scenario (Data empty for scenarios
+// that did not sample). Artifacts are immutable once published —
+// handlers read them concurrently without locks.
+type JobArtifacts struct {
+	Doc    ResultDoc
+	Traces []TraceBlob
+}
+
+// Trace returns the blob for a scenario by name, or by index when sel
+// parses as one ("" = scenario 0).
+func (a *JobArtifacts) Trace(sel string) (*TraceBlob, bool) {
+	if sel == "" {
+		sel = "0"
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Name == sel {
+			return &a.Traces[i], true
+		}
+	}
+	if idx, err := parseIndex(sel); err == nil && idx < len(a.Traces) {
+		return &a.Traces[idx], true
+	}
+	return nil, false
+}
+
+// entry is one cache slot: in-flight while filled == false (the done
+// channel is open and waiters accumulate), completed after Fill. A
+// failed or canceled leader Aborts the entry, which removes it from
+// the cache — failures are not content-addressable results.
+type entry struct {
+	key    string
+	done   chan struct{}
+	art    *JobArtifacts // nil until Fill
+	err    error         // set by Abort
+	filled bool
+}
+
+// Cache is the content-addressed, single-flight result store. Acquire
+// is the only admission point: the first job for a key becomes the
+// leader (and must later Fill or Abort), every concurrent identical
+// submission attaches to the same entry and is completed by the
+// leader's outcome — so one simulation serves any number of identical
+// requests, and nothing ever simulates twice.
+//
+// Completed entries evict FIFO by fill order once Cap is exceeded;
+// in-flight entries are never evicted.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*entry
+	fills   []string // completed keys in fill order (eviction queue)
+
+	hits      uint64
+	coalesced uint64
+	evictions uint64
+}
+
+// NewCache builds a cache retaining at most capEntries completed
+// results (<= 0 means 256).
+func NewCache(capEntries int) *Cache {
+	if capEntries <= 0 {
+		capEntries = 256
+	}
+	return &Cache{cap: capEntries, entries: make(map[string]*entry)}
+}
+
+// Acquire resolves a key to its entry. leader is true when the caller
+// created the entry and owns filling it; false means the entry was
+// already present — completed (e.filled, art servable now) or
+// in-flight (wait on e.done).
+func (c *Cache) Acquire(key string) (e *entry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		if e.filled {
+			c.hits++
+		} else {
+			c.coalesced++
+		}
+		return e, false
+	}
+	e = &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// Fill publishes a leader's artifacts, wakes every waiter, and evicts
+// the oldest completed entries beyond the cap.
+func (c *Cache) Fill(e *entry, art *JobArtifacts) {
+	c.mu.Lock()
+	e.art = art
+	e.filled = true
+	c.fills = append(c.fills, e.key)
+	for len(c.fills) > c.cap {
+		victim := c.fills[0]
+		c.fills = c.fills[1:]
+		// The victim may have been replaced after an Abort+re-Acquire
+		// cycle; only evict the completed entry the queue recorded.
+		if v, ok := c.entries[victim]; ok && v.filled {
+			delete(c.entries, victim)
+			c.evictions++
+		}
+	}
+	// Close before releasing the lock: an Acquire that observes
+	// filled=true must also find done closed, so cache-hit
+	// submissions are terminal the moment they return.
+	close(e.done)
+	c.mu.Unlock()
+}
+
+// Abort removes a failed leader's entry (so the next identical
+// submission re-runs) and propagates err to every waiter.
+func (c *Cache) Abort(e *entry, err error) {
+	c.mu.Lock()
+	e.err = err
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+	}
+	close(e.done) // inside the lock, for the same reason as Fill
+	c.mu.Unlock()
+}
+
+// Wait blocks until the entry completes and returns its outcome.
+func (e *entry) Wait() (*JobArtifacts, error) {
+	<-e.done
+	return e.art, e.err
+}
+
+// Len returns the number of resident entries (completed + in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns (hits, coalesced, evictions).
+func (c *Cache) Stats() (hits, coalesced, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.coalesced, c.evictions
+}
+
+// parseIndex parses a small non-negative decimal (scenario selector).
+func parseIndex(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, errBadIndex
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' || n > 1<<20 {
+			return 0, errBadIndex
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, nil
+}
+
+var errBadIndex = errInvalid("not an index")
+
+// errInvalid is a trivial constant-string error.
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the thin Go client of the nmod job API — what the remote
+// CLI modes (nmoprof/nmostat -remote) are built on. The zero HTTP
+// client is http.DefaultClient; Base is "host:port" or a full URL.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a daemon address ("localhost:8077" or
+// "http://host:8077").
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out,
+// converting non-2xx responses (their apiError body) into errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErr(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeErr turns a non-2xx response into an error carrying the
+// server's apiError message when one is present.
+func decodeErr(resp *http.Response) error {
+	var ae apiError
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("nmod: %s (HTTP %d)", ae.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("nmod: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// Submit posts a job spec and returns its admission status (terminal
+// already for cache hits).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info)
+	return info, err
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Cancel requests cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}
+
+// Wait polls until the job reaches a terminal state. Failed and
+// canceled jobs return their server-side error; poll <= 0 defaults to
+// 100 ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.State.Terminal() {
+			if info.State != StateDone {
+				return info, fmt.Errorf("nmod: job %s %s: %s", id, info.State, info.Error)
+			}
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Result fetches a finished job's result document.
+func (c *Client) Result(ctx context.Context, id string) (*ResultDoc, error) {
+	var doc ResultDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Stats fetches the daemon's scheduler/cache counters.
+func (c *Client) Stats(ctx context.Context) (SchedStats, error) {
+	var st SchedStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// TraceOptions select and filter a job's trace stream.
+type TraceOptions struct {
+	// Scenario selects the blob by name or index ("" = scenario 0).
+	Scenario string
+	// FromNs / ToNs bound sample timestamps ([from, to), 0 =
+	// unbounded); Core keeps one core (< 0 = all — note the zero
+	// value selects core 0; build via NewTraceOptions). Any filter
+	// makes the server restream (block-skip push-down on its stored
+	// blob); no filters stream the stored bytes verbatim.
+	FromNs uint64
+	ToNs   uint64
+	Core   int
+}
+
+// NewTraceOptions returns options that stream scenario 0 unfiltered.
+func NewTraceOptions() TraceOptions { return TraceOptions{Core: -1} }
+
+// Trace opens a job's v2 trace stream. The returned reader is the raw
+// chunked body (a valid v2 file); md5hex carries the X-Nmo-Trace-Md5
+// header on unfiltered streams ("" when filtered — a restreamed trace
+// carries its checksum in its own tail). The caller closes the reader.
+func (c *Client) Trace(ctx context.Context, id string, opt TraceOptions) (body io.ReadCloser, md5hex string, err error) {
+	q := url.Values{}
+	if opt.Scenario != "" {
+		q.Set("scenario", opt.Scenario)
+	}
+	if opt.FromNs != 0 {
+		q.Set("from", strconv.FormatUint(opt.FromNs, 10))
+	}
+	if opt.ToNs != 0 {
+		q.Set("to", strconv.FormatUint(opt.ToNs, 10))
+	}
+	if opt.Core >= 0 {
+		q.Set("core", strconv.Itoa(opt.Core))
+	}
+	u := c.Base + "/v1/jobs/" + url.PathEscape(id) + "/trace"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, "", decodeErr(resp)
+	}
+	return resp.Body, resp.Header.Get("X-Nmo-Trace-Md5"), nil
+}
+
+// DownloadTrace streams a job's trace to w and returns the bytes
+// written plus the advertised MD5 (unfiltered streams only).
+func (c *Client) DownloadTrace(ctx context.Context, id string, opt TraceOptions, w io.Writer) (int64, string, error) {
+	body, md5hex, err := c.Trace(ctx, id, opt)
+	if err != nil {
+		return 0, "", err
+	}
+	defer body.Close()
+	n, err := io.Copy(w, body)
+	return n, md5hex, err
+}

@@ -1,0 +1,612 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nmo/internal/analysis"
+	"nmo/internal/core"
+	"nmo/internal/engine"
+	"nmo/internal/postproc"
+	"nmo/internal/report"
+	"nmo/internal/sampler"
+	"nmo/internal/trace"
+)
+
+// SchedConfig sizes the scheduler.
+type SchedConfig struct {
+	// Workers is the number of concurrently running jobs (<= 0: 2).
+	Workers int
+	// QueueCap bounds the number of queued leader jobs; submissions
+	// beyond it are rejected (ErrQueueFull -> HTTP 429). <= 0: 64.
+	QueueCap int
+	// EngineJobs is the engine worker-pool size each job runs its
+	// scenario batch with (<= 0: 1, so Workers jobs never
+	// oversubscribe the host; results are bit-identical at any
+	// value).
+	EngineJobs int
+	// BackendSlots caps concurrently *running* jobs per sampling
+	// backend: a job occupies one slot on every backend its scenarios
+	// resolve to, and a worker never starts a job whose backends are
+	// saturated — it picks the next admissible job instead (the
+	// conflict-constrained selection of the queue). nil or a missing
+	// kind means unlimited.
+	BackendSlots map[sampler.Kind]int
+	// MaxJobs bounds retained job records (<= 0: 1024). Terminal jobs
+	// beyond the bound are forgotten oldest-first — their IDs then
+	// 404, but the *results* stay addressable: an identical
+	// resubmission is a cache hit. Without the bound a long-running
+	// daemon would pin every job's trace blobs forever.
+	MaxJobs int
+}
+
+// ErrQueueFull rejects submissions when the queue is at capacity.
+var ErrQueueFull = errInvalid("service: job queue is full")
+
+// ErrCanceled is the terminal error of canceled jobs.
+var ErrCanceled = errInvalid("service: job canceled")
+
+// errShutdown fails queued jobs when the scheduler closes.
+var errShutdown = errInvalid("service: scheduler shut down")
+
+// Job is one submitted unit of work. All mutable state is behind mu;
+// Info snapshots it for the wire.
+type Job struct {
+	ID       string
+	Key      string
+	Priority int
+	seq      uint64
+
+	rs    []resolved
+	kinds []sampler.Kind // distinct backends (admission resources)
+	entry *entry         // cache slot this job serves from / fills
+
+	mu     sync.Mutex
+	state  JobState
+	cached bool
+	errMsg string
+	cancel context.CancelFunc // set while running (leaders only)
+	art    *JobArtifacts      // set when done
+}
+
+// Info snapshots the job's wire status.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobInfo{
+		ID: j.ID, State: j.state, Key: j.Key, Priority: j.Priority,
+		Cached: j.cached, Scenarios: len(j.rs), Error: j.errMsg,
+	}
+}
+
+// Artifacts returns the job's results once done (nil before).
+func (j *Job) Artifacts() *JobArtifacts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.art
+}
+
+// Done returns the cache entry's completion channel — closed when the
+// job's key has an outcome (fill or abort).
+func (j *Job) Done() <-chan struct{} { return j.entry.done }
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state.
+func (j *Job) finish(art *JobArtifacts, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.cancel = nil
+	if err != nil {
+		if err == ErrCanceled || err == context.Canceled {
+			j.state = StateCanceled
+			j.errMsg = ErrCanceled.Error()
+		} else {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+		return
+	}
+	j.state = StateDone
+	j.art = art
+}
+
+// Scheduler admits, queues, and executes jobs on a bounded worker
+// pool. Submission performs cache admission (hit, coalesce, or
+// enqueue-as-leader); workers pick the highest-priority *admissible*
+// job — one whose backends all have a free slot — so a saturated
+// backend never blocks jobs that only need the other one.
+type Scheduler struct {
+	cfg   SchedConfig
+	cache *Cache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job // sorted: priority desc, seq asc
+	jobs    map[string]*Job
+	order   []*Job // submission order (job-record pruning)
+	running map[sampler.Kind]int
+	nRun    int
+	closed  bool
+	seq     uint64
+
+	// baseCtx parents every job context, so Close cancels whatever is
+	// running — including jobs in the pop-to-run window whose cancel
+	// func is not registered yet.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	submitted  atomic.Uint64
+	rejected   atomic.Uint64
+	engineRuns atomic.Uint64
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg SchedConfig, cache *Cache) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.EngineJobs <= 0 {
+		cfg.EngineJobs = 1
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cache == nil {
+		cache = NewCache(0)
+	}
+	s := &Scheduler{cfg: cfg, cache: cache, jobs: make(map[string]*Job),
+		running: make(map[sampler.Kind]int)}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// EngineRuns returns the number of engine batch executions — the
+// counter the cache's no-duplicate-simulation guarantee is tested
+// against.
+func (s *Scheduler) EngineRuns() uint64 { return s.engineRuns.Load() }
+
+// Stats snapshots the scheduler and cache counters.
+func (s *Scheduler) Stats() SchedStats {
+	hits, coalesced, evictions := s.cache.Stats()
+	s.mu.Lock()
+	queued, running := len(s.queue), s.nRun
+	s.mu.Unlock()
+	return SchedStats{
+		Submitted:      s.submitted.Load(),
+		Rejected:       s.rejected.Load(),
+		EngineRuns:     s.engineRuns.Load(),
+		CacheHits:      hits,
+		Coalesced:      coalesced,
+		CacheEntries:   s.cache.Len(),
+		CacheEvictions: evictions,
+		Queued:         queued,
+		Running:        running,
+	}
+}
+
+// Submit validates, resolves, and admits a job. The returned Job is
+// already terminal for cache hits; coalesced and queued jobs complete
+// asynchronously (watch Done / poll Info).
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	rs, key, err := resolveJob(spec)
+	if err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+	job := &Job{
+		ID: newID(), Key: key, Priority: spec.Priority,
+		rs: rs, kinds: backends(rs), state: StateQueued,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, errShutdown
+	}
+	e, leader := s.cache.Acquire(key)
+	job.entry = e
+	if leader && len(s.queue) >= s.cfg.QueueCap {
+		// Undo the reservation before releasing the scheduler lock:
+		// every Submit acquires under it, so no follower can attach
+		// to the entry before the abort lands.
+		s.cache.Abort(e, ErrQueueFull)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.submitted.Add(1)
+	s.seq++
+	job.seq = s.seq
+	job.cached = !leader // job not yet published; no lock needed
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job)
+	s.pruneLocked()
+	if leader {
+		s.enqueueLocked(job)
+		s.cond.Signal()
+		s.mu.Unlock()
+		return job, nil
+	}
+	// Coalescing onto a *queued* leader: the attached submission's
+	// priority must still count, or a high-priority request would
+	// silently wait at its leader's lower position. Bump the leader
+	// and re-place it.
+	for i, q := range s.queue {
+		if q.Key == key && q.Priority < spec.Priority {
+			q.mu.Lock()
+			q.Priority = spec.Priority
+			q.mu.Unlock()
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.enqueueLocked(q)
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	// Cache hit or coalesce: the leader's outcome completes this job.
+	select {
+	case <-e.done:
+		art, err := e.Wait() // done already closed: returns immediately
+		job.finish(art, err)
+	default:
+		go func() {
+			art, err := e.Wait()
+			job.finish(art, err)
+		}()
+	}
+	return job, nil
+}
+
+// enqueueLocked inserts by (priority desc, seq asc); callers hold mu.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.Priority != j.Priority {
+			return q.Priority < j.Priority
+		}
+		return q.seq > j.seq
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+}
+
+// pruneLocked forgets the oldest terminal job records beyond MaxJobs,
+// releasing their artifact references (the cache keeps results
+// addressable by content). Queued/running jobs are never pruned, so
+// the map can transiently exceed the bound while that many jobs are
+// genuinely live.
+func (s *Scheduler) pruneLocked() {
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && j.Info().State.Terminal() {
+			delete(s.jobs, j.ID)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// Get looks a job up by ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: queued leaders are dequeued and their cache
+// entry aborted (coalesced followers of that entry cancel with them);
+// running jobs get their context canceled and finish at the next
+// scenario boundary. Terminal jobs are left untouched.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("service: unknown job %q", id)
+	}
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			// Abort before releasing the scheduler lock (like the
+			// queue-full path in Submit): a concurrent identical
+			// Submit acquires under s.mu, so it must find either the
+			// queued entry or no entry — never a doomed one to
+			// coalesce onto.
+			s.cache.Abort(j.entry, ErrCanceled)
+			s.mu.Unlock()
+			j.finish(nil, ErrCanceled)
+			return nil
+		}
+	}
+	s.mu.Unlock()
+
+	// One critical section decides the job's fate: runJob's
+	// queued→running transition also holds j.mu, so either we observe
+	// the cancel func (and fire it), or we mark the job canceled
+	// before the run starts and runJob's terminal check aborts it.
+	// Releasing the lock between the read and the state change would
+	// let a pop-to-run racer start an uncancellable batch.
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		// Already finished; nothing to cancel.
+	case j.cancel != nil:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel() // runJob observes ctx errors and aborts the entry
+		return nil
+	default:
+		// Not queued, not yet running: a coalesced follower (its
+		// leader keeps running for everyone else) or a leader in the
+		// pop-to-run window.
+		j.state = StateCanceled
+		j.errMsg = ErrCanceled.Error()
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Close stops the workers, cancels everything queued or running, and
+// waits for the pool to drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pending := s.queue
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range pending {
+		s.cache.Abort(j.entry, errShutdown)
+		j.finish(nil, errShutdown)
+	}
+	// Cancels every running job at its next scenario boundary — even
+	// one a worker has popped but not yet registered a cancel func
+	// for (its context derives from baseCtx either way).
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// popLocked removes and returns the best admissible job, or nil.
+// Admissible: every backend the job occupies has a free slot. The
+// queue is priority-ordered, so the scan returns the first fit — a
+// job blocked on a saturated backend is jumped by lower-priority jobs
+// that need only free backends (no head-of-line blocking across
+// backends; FIFO order within one backend's contenders is preserved).
+func (s *Scheduler) popLocked() *Job {
+	for i, j := range s.queue {
+		if s.admissibleLocked(j) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) admissibleLocked(j *Job) bool {
+	if s.cfg.BackendSlots == nil {
+		return true
+	}
+	for _, k := range j.kinds {
+		if lim, ok := s.cfg.BackendSlots[k]; ok && lim > 0 && s.running[k] >= lim {
+			return false
+		}
+	}
+	return true
+}
+
+// worker is the scheduler loop: pick an admissible job, reserve its
+// backend slots, run it, release, repeat.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var job *Job
+		for !s.closed {
+			if job = s.popLocked(); job != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		if job == nil { // closed
+			s.mu.Unlock()
+			return
+		}
+		for _, k := range job.kinds {
+			s.running[k]++
+		}
+		s.nRun++
+		s.mu.Unlock()
+
+		s.runJob(job)
+
+		s.mu.Lock()
+		for _, k := range job.kinds {
+			s.running[k]--
+		}
+		s.nRun--
+		// A slot freed: jobs previously inadmissible may fit now.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes a leader job's scenario batch and fills (or aborts)
+// its cache entry, completing every coalesced follower along the way.
+func (s *Scheduler) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.mu.Lock()
+	if job.state.Terminal() { // canceled between pop and run
+		job.mu.Unlock()
+		cancel()
+		s.cache.Abort(job.entry, ErrCanceled)
+		return
+	}
+	job.state = StateRunning
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	art, err := s.execute(ctx, job.rs)
+	if err != nil {
+		s.cache.Abort(job.entry, err)
+		job.finish(nil, err)
+		return
+	}
+	s.cache.Fill(job.entry, art)
+	job.finish(art, nil)
+}
+
+// execute runs the resolved scenarios as one engine batch, streaming
+// each sampling scenario's trace into an in-memory v2 blob, and
+// digests the results into servable artifacts.
+func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, error) {
+	scs := make([]engine.Scenario, len(rs))
+	bufs := make([]*bytes.Buffer, len(rs))
+	for i := range rs {
+		r := &rs[i]
+		i := i
+		scs[i] = engine.Scenario{
+			Name:     r.spec.Name,
+			Spec:     r.mach,
+			Config:   r.cfg,
+			Workload: r.workloadFactory,
+		}
+		if r.cfg.Mode.Sampling() {
+			blockSamples := r.spec.BlockSamples
+			// The factory runs once, on the executing engine worker;
+			// each scenario writes its private slot, and the engine's
+			// completion barrier publishes the slices to this
+			// goroutine.
+			scs[i].SinkFactory = func(meta trace.Meta) (trace.Sink, error) {
+				buf := &bytes.Buffer{}
+				w, err := trace.NewWriterV2(buf, meta, blockSamples)
+				if err != nil {
+					return nil, err
+				}
+				bufs[i] = buf
+				return w, nil
+			}
+		}
+	}
+
+	s.engineRuns.Add(1)
+	results := engine.Runner{Jobs: s.cfg.EngineJobs}.RunAllContext(ctx, scs)
+
+	art := &JobArtifacts{Traces: make([]TraceBlob, len(rs))}
+	for i, res := range results {
+		if res.Err != nil {
+			if ctx.Err() != nil {
+				return nil, ErrCanceled
+			}
+			return nil, res.Err
+		}
+		sr, blob, err := digest(&rs[i], res.Profile, bufs[i])
+		if err != nil {
+			return nil, err
+		}
+		art.Doc.Scenarios = append(art.Doc.Scenarios, sr)
+		art.Traces[i] = blob
+	}
+	return art, nil
+}
+
+// digest turns one scenario's profile + trace blob into its wire
+// result: aggregate counters, Eq. 1 accuracy, and the same tables the
+// local CLI prints, derived from the blob by one out-of-core postproc
+// pass.
+func digest(r *resolved, prof *core.Profile, buf *bytes.Buffer) (ScenarioResult, TraceBlob, error) {
+	sr := ScenarioResult{
+		Name:        r.spec.Name,
+		Workload:    prof.Workload,
+		WallCycles:  uint64(prof.Wall),
+		WallSec:     prof.WallSec,
+		MemAccesses: prof.MemAccesses,
+		BusAccesses: prof.BusAccesses,
+	}
+	blob := TraceBlob{Name: r.spec.Name}
+	if r.cfg.Mode.Counters() {
+		sr.Bandwidth = &prof.Bandwidth
+		if r.cfg.TrackRSS {
+			sr.Capacity = &prof.Capacity
+		}
+	}
+	if !r.cfg.Mode.Sampling() || buf == nil {
+		return sr, blob, nil
+	}
+
+	sr.Backend = string(prof.Backend)
+	sr.Samples = prof.Sampler.Processed
+	sr.Accuracy = analysis.Accuracy(prof.MemAccesses, prof.Sampler.Processed, r.cfg.EffectivePeriod())
+	blob.Data = buf.Bytes()
+	blob.MD5 = prof.MD5
+	sr.TraceMD5 = hex.EncodeToString(blob.MD5[:])
+	sr.TraceBytes = int64(len(blob.Data))
+
+	rd, err := trace.OpenV2(bytes.NewReader(blob.Data))
+	if err != nil {
+		return sr, blob, fmt.Errorf("service: scenario %q blob: %w", r.spec.Name, err)
+	}
+	sr.TraceSamples = rd.TotalSamples()
+	sr.TraceBlocks = rd.NumBlocks()
+	sum, err := postproc.Summarize(postproc.From(rd), false)
+	if err != nil {
+		return sr, blob, err
+	}
+	sr.LatP50 = sum.Lat.Percentile(50)
+	sr.LatP90 = sum.Lat.Percentile(90)
+	sr.LatP99 = sum.Lat.Percentile(99)
+
+	regions := &report.Table{Title: "Samples by region", Headers: []string{"region", "count"}}
+	for _, g := range sum.ByRegion.Groups() {
+		regions.AddRow(g.Key, g.Count)
+	}
+	sr.Tables = []*report.Table{regions, report.NewLevelTable(sum.Levels.By)}
+	return sr, blob, nil
+}
+
+// newID mints a random job ID.
+func newID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

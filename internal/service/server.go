@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"nmo/internal/trace"
+)
+
+// Server exposes a Scheduler over HTTP. Routes (Go 1.22 pattern mux):
+//
+//	POST   /v1/jobs              submit a JobSpec; 200 JobInfo
+//	GET    /v1/jobs/{id}         job status; 200 JobInfo
+//	DELETE /v1/jobs/{id}         cancel; 200 JobInfo
+//	GET    /v1/jobs/{id}/result  finished job's ResultDoc
+//	GET    /v1/jobs/{id}/trace   v2 trace stream (chunked);
+//	                             ?scenario=name|index selects the blob,
+//	                             ?from/?to (ns) and ?core push down to
+//	                             the block index server-side
+//	GET    /v1/stats             SchedStats
+//	GET    /v1/healthz           200 "ok"
+//
+// Unfiltered trace responses are the stored blob verbatim — byte-
+// identical to the v2 file the same scenario writes locally — with the
+// stream's rolling MD5 in X-Nmo-Trace-Md5. Filtered responses are a
+// fresh v2 stream (own index, own checksum) restreamed through the
+// block-skip push-down.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires a scheduler into an HTTP handler.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxSpecBytes bounds the POST body (a 256-scenario sweep spec is a
+// few tens of KB; a megabyte is generous).
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == ErrQueueFull {
+			code = http.StatusTooManyRequests
+		} else if err == errShutdown {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// job resolves the {id} path value, writing the 404 itself on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.sched.Cancel(j.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+// artifacts resolves a job's artifacts, mapping unfinished and failed
+// jobs to 409/the failure. Results are served only for done jobs —
+// clients poll status first (or watch the submission response's state
+// for cache hits).
+func artifacts(w http.ResponseWriter, j *Job) (*JobArtifacts, bool) {
+	info := j.Info()
+	switch info.State {
+	case StateDone:
+		return j.Artifacts(), true
+	case StateFailed, StateCanceled:
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s: %s", j.ID, info.State, info.Error))
+	default:
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll until done", j.ID, info.State))
+	}
+	return nil, false
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	art, ok := artifacts(w, j)
+	if !ok {
+		return
+	}
+	doc := art.Doc
+	doc.Key = j.Key
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// traceChunk is the write granularity of full-blob trace responses;
+// no Content-Length is set, so net/http chunks the transfer and the
+// client can consume the stream incrementally.
+const traceChunk = 256 << 10
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	art, ok := artifacts(w, j)
+	if !ok {
+		return
+	}
+	blob, ok := art.Trace(r.URL.Query().Get("scenario"))
+	if !ok || len(blob.Data) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
+			j.ID, r.URL.Query().Get("scenario")))
+		return
+	}
+
+	hints, keep, err := traceFilter(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if keep == nil {
+		// Unfiltered: the stored bytes verbatim, rolling MD5 echoed so
+		// clients can verify without reading the tail first.
+		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(blob.MD5[:]))
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		for off := 0; off < len(blob.Data); off += traceChunk {
+			end := off + traceChunk
+			if end > len(blob.Data) {
+				end = len(blob.Data)
+			}
+			if _, err := w.Write(blob.Data[off:end]); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+
+	// Filtered: restream through the block-skip push-down. The
+	// response is a fresh, self-describing v2 stream; errors past the
+	// header surface as a truncated chunked body (the client's OpenV2
+	// rejects it).
+	rd, err := trace.OpenV2(bytes.NewReader(blob.Data))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	trace.Restream(rd, w, hints, keep, 0)
+}
+
+// traceFilter maps ?from/?to/?core onto the push-down pair: block-
+// skip hints for the stored blob's index plus the exact keep
+// predicate. A request without filters returns a nil keep — the
+// serve-verbatim fast path.
+func traceFilter(r *http.Request) (trace.ScanHints, func(*trace.Sample) bool, error) {
+	q := r.URL.Query()
+	var hints trace.ScanHints
+	var err error
+	if v := q.Get("from"); v != "" {
+		if hints.TimeLo, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return hints, nil, fmt.Errorf("bad from %q", v)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if hints.TimeHi, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return hints, nil, fmt.Errorf("bad to %q", v)
+		}
+	}
+	core := -1
+	if v := q.Get("core"); v != "" {
+		c, err := strconv.Atoi(v)
+		if err != nil || c < 0 {
+			return hints, nil, fmt.Errorf("bad core %q", v)
+		}
+		core = c
+		hints.CoreMask = trace.CoreBit(int16(c))
+	}
+	if hints.TimeLo == 0 && hints.TimeHi == 0 && core < 0 {
+		return hints, nil, nil
+	}
+	h := hints
+	keep := func(s *trace.Sample) bool {
+		if h.TimeLo != 0 && s.TimeNs < h.TimeLo {
+			return false
+		}
+		if h.TimeHi != 0 && s.TimeNs >= h.TimeHi {
+			return false
+		}
+		// Exact core equality: the hint mask aliases mod 64, the
+		// predicate must not.
+		return core < 0 || int(s.Core) == core
+	}
+	return hints, keep, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}

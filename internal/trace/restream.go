@@ -1,0 +1,42 @@
+package trace
+
+import "io"
+
+// Restream writes a filtered copy of an open v2 trace to w as a fresh,
+// self-describing v2 stream: blocks the hints rule out are skipped via
+// the footer index (their bytes are never read), surviving samples are
+// exact-filtered by keep and re-emitted through a new WriterV2 with its
+// own index and rolling MD5. blockSamples <= 0 keeps the source's
+// block granularity.
+//
+// This is the push-down boundary of the service layer's trace
+// endpoint: ?from/to/core become ScanHints (block skip on the server's
+// stored blob) plus a keep predicate (exact trim of the admitted
+// blocks), and the client receives a valid v2 file it can verify and
+// re-query locally. A nil keep with zero hints degenerates to a block-
+// by-block copy — but callers that want the original bytes (and the
+// original checksum) should serve the blob directly instead.
+//
+// Returns the number of samples written.
+func Restream(rd *ReaderV2, w io.Writer, h ScanHints, keep func(*Sample) bool, blockSamples int) (uint64, error) {
+	if blockSamples <= 0 {
+		blockSamples = rd.blockSamples
+	}
+	wr, err := NewWriterV2(w, rd.Meta(), blockSamples)
+	if err != nil {
+		return 0, err
+	}
+	scanErr := rd.Scan(h, func(s *Sample) {
+		if err != nil || (keep != nil && !keep(s)) {
+			return
+		}
+		err = wr.Emit(s)
+	})
+	if scanErr != nil {
+		return wr.Total(), scanErr
+	}
+	if err != nil {
+		return wr.Total(), err
+	}
+	return wr.Total(), wr.Close()
+}

@@ -20,7 +20,11 @@
 // and seed.
 package workloads
 
-import "nmo/internal/isa"
+import (
+	"fmt"
+
+	"nmo/internal/isa"
+)
 
 // Region is a tagged address range, the equivalent of
 // nmo_tag_addr("name", start, end) in the paper's annotation API.
@@ -49,6 +53,25 @@ type Workload interface {
 	// Labels returns the marker label table: Labels()[op.Label] is
 	// the kernel name carried by start/stop markers.
 	Labels() []string
+}
+
+// NewStandard constructs a named cycle-level workload with the
+// canonical CLI shapes: elems is elements (stream/cfd) or nodes
+// (bfs), iters applies to stream/cfd, and BFS always runs degree 8
+// with 3 traversals. Both cmd/nmoprof's local path and the nmod
+// service resolver build through here, so a remote submission and the
+// equivalent local invocation are the same workload by construction —
+// the byte-identical-trace contract rests on this single definition.
+func NewStandard(name string, elems, threads, iters int, seed uint64) (Workload, error) {
+	switch name {
+	case "stream":
+		return NewStream(StreamConfig{Elems: elems, Threads: threads, Iters: iters}), nil
+	case "cfd":
+		return NewCFD(CFDConfig{Elems: elems, Threads: threads, Iters: iters, Seed: seed}), nil
+	case "bfs":
+		return NewBFS(BFSConfig{Nodes: elems, Degree: 8, Threads: threads, Iters: 3, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (supported: stream, cfd, bfs)", name)
 }
 
 // Base addresses used by the cycle-level workloads. Keeping data
