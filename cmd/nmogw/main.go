@@ -1,0 +1,84 @@
+// Command nmogw is the nmo fleet gateway: a stateless routing tier
+// that fronts several nmod daemons behind the daemon's own HTTP API.
+// Submissions are consistent-hashed by their content address onto the
+// member ring, so identical jobs from any client land on the shard
+// whose single-flight cache already holds (or is computing) the
+// result; job reads route by the shard prefix in the gateway job ID;
+// /v1/stats merges the fleet; dead shards are probed, skipped, and
+// re-homed onto their ring successors with bounded re-mapping.
+//
+//	nmod -addr 127.0.0.1:8101 &
+//	nmod -addr 127.0.0.1:8102 &
+//	nmogw -addr :8100 -members 127.0.0.1:8101,127.0.0.1:8102
+//
+//	# exactly the daemon API, one level up
+//	curl -s localhost:8100/v1/jobs -d '{"scenarios":[{"workload":"stream"}]}'
+//	curl -s localhost:8100/v1/jobs/s0-j<id>/trace -o run.nmo2
+//	curl -s localhost:8100/v1/stats | jq .engine_runs
+//
+// nmoprof -remote and nmostat -remote work unchanged against a
+// gateway address.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nmo/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	members := flag.String("members", "", "comma-separated nmod member addresses (required)")
+	replicas := flag.Int("replicas", gateway.DefaultReplicas, "virtual nodes per member on the hash ring")
+	probe := flag.Duration("probe", 2*time.Second, "member health-probe interval")
+	flag.Parse()
+
+	if err := run(*addr, *members, *replicas, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "nmogw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, members string, replicas int, probe time.Duration) error {
+	var list []string
+	for _, m := range strings.Split(members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			list = append(list, m)
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Members:    list,
+		Replicas:   replicas,
+		ProbeEvery: probe,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	srv := &http.Server{Addr: addr, Handler: gw}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("nmogw: listening on %s, routing %d members (%d vnodes each, probe %s)\n",
+		addr, len(list), replicas, probe)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("nmogw: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}

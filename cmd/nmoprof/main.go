@@ -30,7 +30,10 @@
 // an nmod job (cycle-level workloads only), the daemon runs — or
 // serves from its content-addressed cache — and the tables, counters
 // and trace files below come over HTTP. The streamed v2 file is
-// byte-identical to what the same invocation writes locally.
+// byte-identical to what the same invocation writes locally. The
+// address may equally be an nmogw fleet gateway: the gateway speaks
+// the same API, consistent-hashes the submission onto the shard whose
+// cache owns its content address, and nothing here changes.
 package main
 
 import (

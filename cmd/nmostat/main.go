@@ -19,9 +19,13 @@
 // With -remote it inspects a trace held by an nmod daemon instead:
 // -job names the job, -scenario the scenario within it, and the same
 // time/core filters are pushed down to the daemon — whole blocks the
-// daemon's footer index rules out never cross the wire:
+// daemon's footer index rules out never cross the wire. Pointed at an
+// nmogw fleet gateway the flags are identical; gateway job IDs carry a
+// shard prefix (s0-j…) that routes the read to the member holding the
+// blob:
 //
 //	nmostat -remote localhost:8077 -job j0123abcd -from 1000000 -core 3
+//	nmostat -remote localhost:8100 -job s0-j0123abcd -core 3
 package main
 
 import (

@@ -1,0 +1,493 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nmo/internal/service"
+)
+
+// Config sizes a gateway.
+type Config struct {
+	// Members are the shard daemon addresses ("host:port" or full
+	// URLs). Their order fixes each shard's index — the routing prefix
+	// baked into gateway job IDs — so every gateway instance configured
+	// with the same list routes identically (the tier holds no state a
+	// restart could lose).
+	Members []string
+	// Replicas is the ring's virtual-node count per member (<= 0:
+	// DefaultReplicas).
+	Replicas int
+	// ProbeEvery is the health-probe interval (<= 0: 2s); ProbeTimeout
+	// bounds one probe round-trip (<= 0: 2s) and one member leg of the
+	// /v1/stats fan-out. Probes hit each member's /v1/stats.
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+}
+
+// member is one shard in the registry: its client, plus the health
+// state the probe loop and proxy error paths both feed. Health flips
+// eagerly on proxy transport errors (a dead shard is discovered by the
+// first request that hits it, not the next probe tick) and recovers
+// via the probe loop.
+type member struct {
+	base   string // normalized base URL (also the ring label)
+	client *service.Client
+
+	healthy atomic.Bool
+	lastErr atomic.Value // string
+}
+
+func (m *member) markDown(err error) {
+	m.lastErr.Store(err.Error())
+	m.healthy.Store(false)
+}
+
+func (m *member) markUp() {
+	m.healthy.Store(true)
+	m.lastErr.Store("")
+}
+
+func (m *member) errString() string {
+	if s, ok := m.lastErr.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Gateway fronts a fleet of nmod daemons behind the daemon's own HTTP
+// API: submissions are routed by consistent-hashing their content
+// address (computed gateway-side with service.ContentAddress — the
+// exact key the shard's cache will file the result under), job reads
+// are routed by the shard prefix carried in every gateway job ID, and
+// /v1/stats fans out and merges. Existing clients (service.Client,
+// nmoprof -remote, nmostat -remote, plain curl) work unchanged against
+// a gateway URL.
+type Gateway struct {
+	members []*member
+	byBase  map[string]*member
+	ring    *Ring
+	mux     *http.ServeMux
+	httpc   *http.Client
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	stop         chan struct{}
+	wg           sync.WaitGroup
+	closeOnce    sync.Once
+}
+
+// New builds a gateway over a fixed member list and starts its health
+// probe loop. Members start healthy — the optimistic default costs at
+// most one failed proxy hop before the registry learns better.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("gateway: no members configured")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	g := &Gateway{
+		byBase: make(map[string]*member),
+		ring:   NewRing(cfg.Replicas),
+		mux:    http.NewServeMux(),
+		// No overall client timeout — trace bodies legitimately stream
+		// for as long as they stream — but dial and response-header
+		// timeouts turn a hung-but-connected shard into a transport
+		// error the registry can fail over on, instead of an in-flight
+		// request stalled forever. (Every proxied endpoint writes its
+		// headers at admission time, so a healthy shard always beats
+		// the header timeout.)
+		httpc: &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+		}},
+		probeEvery:   cfg.ProbeEvery,
+		probeTimeout: cfg.ProbeTimeout,
+		stop:         make(chan struct{}),
+	}
+	for _, addr := range cfg.Members {
+		c := service.NewClient(addr)
+		if g.byBase[c.Base] != nil {
+			return nil, fmt.Errorf("gateway: member %q duplicated", addr)
+		}
+		m := &member{base: c.Base, client: c}
+		m.markUp()
+		g.members = append(g.members, m)
+		g.byBase[c.Base] = m
+		g.ring.Add(c.Base)
+	}
+
+	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.jobProxy(""))
+	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.jobProxy(""))
+	g.mux.HandleFunc("GET /v1/jobs/{id}/result", g.jobProxy("/result"))
+	g.mux.HandleFunc("GET /v1/jobs/{id}/trace", g.jobProxy("/trace"))
+	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+
+	g.wg.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+// Close stops the probe loop.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// probeLoop refreshes member health on a fixed cadence. One round runs
+// immediately so a gateway booted against a half-dead fleet reports
+// truthfully from the first healthz.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	g.probeOnce()
+	t := time.NewTicker(g.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeOnce()
+		}
+	}
+}
+
+func (g *Gateway) probeOnce() {
+	var wg sync.WaitGroup
+	for _, m := range g.members {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), g.probeTimeout)
+			defer cancel()
+			if _, err := m.client.Stats(ctx); err != nil {
+				m.markDown(err)
+			} else {
+				m.markUp()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// healthyCount returns the number of members currently believed up.
+func (g *Gateway) healthyCount() int {
+	n := 0
+	for _, m := range g.members {
+		if m.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// jobID prefixes a member-local job ID with its shard index. The
+// prefix is the only routing state a job read needs, and it lives in
+// the ID itself — any gateway instance over the same member list can
+// serve it.
+func jobID(shard int, id string) string {
+	return fmt.Sprintf("s%d-%s", shard, id)
+}
+
+// splitJobID resolves a gateway job ID back to (shard index, inner
+// ID).
+func (g *Gateway) splitJobID(id string) (int, string, error) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, "", fmt.Errorf("unknown job %q (gateway IDs look like s0-j...)", id)
+	}
+	idxStr, inner, ok := strings.Cut(rest, "-")
+	if !ok || inner == "" {
+		return 0, "", fmt.Errorf("unknown job %q (gateway IDs look like s0-j...)", id)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 || idx >= len(g.members) {
+		return 0, "", fmt.Errorf("unknown job %q (no shard %q)", id, idxStr)
+	}
+	return idx, inner, nil
+}
+
+// shardIndex maps a member back to its configured index.
+func (g *Gateway) shardIndex(m *member) int {
+	for i, o := range g.members {
+		if o == m {
+			return i
+		}
+	}
+	return -1 // unreachable: members is fixed at construction
+}
+
+// handleSubmit routes a submission: hash the spec's content address,
+// walk the ring sequence from its owner, and submit to the first
+// member that takes it. Unhealthy members are skipped (bounded
+// re-mapping: only arcs owned by dead shards move, each to its ring
+// successor); a transport failure marks the member down and moves on,
+// so a freshly-dead shard costs one failed hop, not a failed job.
+// Shard-side HTTP rejections (400 bad spec, 429 queue full, 503
+// shutting down) pass through verbatim — they are answers, not
+// routing failures.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxSpecBytes))
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	var spec service.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	key, err := service.ContentAddress(spec)
+	if err != nil {
+		// The same rejection the shard would produce, without spending
+		// a network hop on a spec no member will accept.
+		service.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Candidate order: the ring sequence with healthy members first.
+	// The unhealthy tail means a fleet whose probes all went stale
+	// still gets every member tried before the gateway gives up.
+	seq := g.ring.Seq(key)
+	candidates := make([]*member, 0, len(seq))
+	for _, base := range seq {
+		if m := g.byBase[base]; m.healthy.Load() {
+			candidates = append(candidates, m)
+		}
+	}
+	for _, base := range seq {
+		if m := g.byBase[base]; !m.healthy.Load() {
+			candidates = append(candidates, m)
+		}
+	}
+	var lastErr error
+	for _, m := range candidates {
+		done, err := g.submitTo(w, r, m, body)
+		if done {
+			return
+		}
+		lastErr = err
+	}
+	service.WriteError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("no reachable shard for key %.12s…: %v", key, lastErr))
+}
+
+// submitTo forwards a submission to one member. done means a response
+// was written (success or a shard-side rejection passed through);
+// false with an error means the member was unreachable and the caller
+// should try the next ring successor.
+func (g *Gateway) submitTo(w http.ResponseWriter, r *http.Request, m *member, body []byte) (done bool, err error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		m.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return true, err // the client went away; nothing to write
+		}
+		m.markDown(err)
+		return false, err
+	}
+	defer resp.Body.Close()
+	m.markUp()
+	if resp.StatusCode != http.StatusOK {
+		copyResponse(w, resp, nil)
+		return true, nil
+	}
+	var info service.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad submit response: %v", m.base, err))
+		return true, nil
+	}
+	info.ID = jobID(g.shardIndex(m), info.ID)
+	service.WriteJSON(w, http.StatusOK, info)
+	return true, nil
+}
+
+// jobProxy builds the handler for one by-ID route (suffix "" for
+// status/cancel, "/result", "/trace"): it routes on the ID's shard
+// prefix and proxies verbatim — including the trace stream's
+// chunking, filter query push-down, and X-Nmo-Trace-Md5 header.
+// JobInfo responses get their ID re-qualified so clients only ever
+// see gateway IDs. The suffix comes from the matched route, not the
+// request path, and the inner ID is re-escaped on the way out — an ID
+// crafted to decode into slashes or query metacharacters addresses
+// nothing but a (nonexistent) job of that literal name.
+func (g *Gateway) jobProxy(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.proxyJob(w, r, suffix)
+	}
+}
+
+func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string) {
+	shard, inner, err := g.splitJobID(r.PathValue("id"))
+	if err != nil {
+		service.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	m := g.members[shard]
+
+	u := m.base + "/v1/jobs/" + url.PathEscape(inner) + suffix
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		service.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		m.markDown(err)
+		service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %v", m.base, err))
+		return
+	}
+	defer resp.Body.Close()
+	m.markUp()
+
+	// Status and cancel answer with a JobInfo whose ID must be
+	// re-qualified; result and trace bodies carry no member-local IDs
+	// and stream through untouched.
+	if resp.StatusCode == http.StatusOK && suffix == "" {
+		var info service.JobInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad response: %v", m.base, err))
+			return
+		}
+		info.ID = jobID(shard, info.ID)
+		service.WriteJSON(w, http.StatusOK, info)
+		return
+	}
+	copyResponse(w, resp, flusherFor(w))
+}
+
+// copyResponse relays a member response: relevant headers, status,
+// then the body — flushed chunk-by-chunk when fl is set so trace
+// streams stay incremental through the gateway.
+func copyResponse(w http.ResponseWriter, resp *http.Response, fl http.Flusher) {
+	for _, h := range []string{"Content-Type", "X-Nmo-Trace-Md5"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func flusherFor(w http.ResponseWriter) http.Flusher {
+	fl, _ := w.(http.Flusher)
+	return fl
+}
+
+// handleStats fans /v1/stats out to every member and merges the
+// answers into a FleetStats: summed counters inline (so a plain
+// SchedStats decode of a gateway URL still works) plus one row per
+// member. The fan-out is live — the smoke tests compare engine-run
+// counters across submissions, which cached probe snapshots would
+// blur. Members that fail the fan-out are reported unhealthy with no
+// Stats row and excluded from the sums.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	fleet := service.FleetStats{Members: make([]service.MemberStats, len(g.members))}
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.probeTimeout)
+			defer cancel()
+			st, err := m.client.Stats(ctx)
+			row := service.MemberStats{Member: m.base, Shard: i}
+			switch {
+			case err == nil:
+				m.markUp()
+				row.Healthy = true
+				row.Stats = &st
+			case r.Context().Err() != nil:
+				// The *requester* went away mid-fan-out; every member
+				// leg fails with a context error that says nothing
+				// about shard health. Don't mark the fleet down over
+				// it (nobody reads this response anyway).
+				row.Healthy = m.healthy.Load()
+				row.Error = err.Error()
+			default:
+				m.markDown(err)
+				row.Error = m.errString()
+			}
+			fleet.Members[i] = row
+		}()
+	}
+	wg.Wait()
+	for _, row := range fleet.Members {
+		if row.Stats == nil {
+			continue
+		}
+		st := row.Stats
+		fleet.Submitted += st.Submitted
+		fleet.Rejected += st.Rejected
+		fleet.EngineRuns += st.EngineRuns
+		fleet.CacheHits += st.CacheHits
+		fleet.Coalesced += st.Coalesced
+		fleet.CacheEntries += st.CacheEntries
+		fleet.CacheEvictions += st.CacheEvictions
+		fleet.Queued += st.Queued
+		fleet.Running += st.Running
+	}
+	service.WriteJSON(w, http.StatusOK, fleet)
+}
+
+// handleHealthz is healthy while at least one shard is: the fleet
+// degrades before it dies.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	up := g.healthyCount()
+	if up == 0 {
+		service.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy members (%d configured)", len(g.members)))
+		return
+	}
+	fmt.Fprintf(w, "ok (%d/%d members healthy)\n", up, len(g.members))
+}

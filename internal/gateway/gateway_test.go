@@ -1,0 +1,382 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nmo/internal/service"
+)
+
+// fleet is a test fixture: n in-process shards behind one gateway.
+type fleet struct {
+	shards  []*httptest.Server
+	scheds  []*service.Scheduler
+	gw      *Gateway
+	front   *httptest.Server
+	client  *service.Client
+	clients []*service.Client // direct per-shard clients
+}
+
+func newFleet(t *testing.T, n int) *fleet {
+	t.Helper()
+	f := &fleet{}
+	members := make([]string, n)
+	for i := 0; i < n; i++ {
+		sched := service.NewScheduler(service.SchedConfig{Workers: 2}, service.NewCache(0))
+		t.Cleanup(sched.Close)
+		srv := httptest.NewServer(service.NewServer(sched))
+		t.Cleanup(srv.Close)
+		f.scheds = append(f.scheds, sched)
+		f.shards = append(f.shards, srv)
+		f.clients = append(f.clients, service.NewClient(srv.URL))
+		members[i] = srv.URL
+	}
+	gw, err := New(Config{Members: members, ProbeEvery: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	f.gw = gw
+	f.front = httptest.NewServer(gw)
+	t.Cleanup(f.front.Close)
+	f.client = service.NewClient(f.front.URL)
+	return f
+}
+
+// spec is a tiny sampling job; the seed varies the content address.
+func spec(seed uint64) service.JobSpec {
+	return service.JobSpec{Scenarios: []service.ScenarioSpec{{
+		Workload: "stream",
+		Threads:  2,
+		Elems:    20_000,
+		Iters:    1,
+		Cores:    4,
+		Seed:     seed,
+		Period:   700,
+	}}}
+}
+
+func submitWait(t *testing.T, c *service.Client, js service.JobSpec) service.JobInfo {
+	t.Helper()
+	ctx := context.Background()
+	info, err := c.Submit(ctx, js)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if info, err = c.Wait(ctx, info.ID, time.Millisecond); err != nil {
+		t.Fatalf("wait %s: %v", info.ID, err)
+	}
+	return info
+}
+
+func fetchTrace(t *testing.T, c *service.Client, id string, opt service.TraceOptions) ([]byte, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	_, md5hex, err := c.DownloadTrace(context.Background(), id, opt, &buf)
+	if err != nil {
+		t.Fatalf("trace %s: %v", id, err)
+	}
+	return buf.Bytes(), md5hex
+}
+
+// TestGatewayEndToEnd: a job submitted through the gateway completes,
+// and its trace stream — headers included — is byte-identical to
+// fetching the same job directly from the shard that ran it, and to a
+// fresh run of the same spec on the *other* shard (the determinism the
+// whole content-addressed fleet rests on).
+func TestGatewayEndToEnd(t *testing.T) {
+	f := newFleet(t, 2)
+	info := submitWait(t, f.client, spec(42))
+	if !strings.HasPrefix(info.ID, "s") {
+		t.Fatalf("gateway job ID %q lacks a shard prefix", info.ID)
+	}
+	shard, inner, err := f.gw.splitJobID(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := f.client.Result(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenarios) != 1 || doc.Scenarios[0].TraceMD5 == "" {
+		t.Fatalf("gateway result doc missing scenario digest: %+v", doc)
+	}
+
+	viaGW, md5GW := fetchTrace(t, f.client, info.ID, service.NewTraceOptions())
+	direct, md5Direct := fetchTrace(t, f.clients[shard], inner, service.NewTraceOptions())
+	if md5GW == "" || md5GW != md5Direct {
+		t.Fatalf("MD5 header via gateway %q != direct %q", md5GW, md5Direct)
+	}
+	if !bytes.Equal(viaGW, direct) {
+		t.Fatalf("gateway trace (%d bytes) differs from direct shard trace (%d bytes)",
+			len(viaGW), len(direct))
+	}
+
+	// Same spec on the other shard: a fresh engine run, identical bytes.
+	other := 1 - shard
+	otherInfo := submitWait(t, f.clients[other], spec(42))
+	fresh, _ := fetchTrace(t, f.clients[other], otherInfo.ID, service.NewTraceOptions())
+	if !bytes.Equal(viaGW, fresh) {
+		t.Fatalf("shards disagree on identical spec: %d vs %d bytes", len(viaGW), len(fresh))
+	}
+}
+
+// TestGatewayCacheAffinity: identical submissions through the gateway
+// always land on one shard, so the second is a fleet-wide cache hit —
+// zero additional engine runs anywhere — while distinct keys spread
+// over the members.
+func TestGatewayCacheAffinity(t *testing.T) {
+	f := newFleet(t, 2)
+	first := submitWait(t, f.client, spec(7))
+	if first.Cached {
+		t.Fatalf("first submission reported cached")
+	}
+	runs := f.scheds[0].EngineRuns() + f.scheds[1].EngineRuns()
+	for i := 0; i < 3; i++ {
+		again := submitWait(t, f.client, spec(7))
+		if !again.Cached {
+			t.Fatalf("resubmission %d missed the cache (routed off-shard?)", i)
+		}
+		if again.Key != first.Key {
+			t.Fatalf("resubmission keyed %s, first %s", again.Key, first.Key)
+		}
+	}
+	if got := f.scheds[0].EngineRuns() + f.scheds[1].EngineRuns(); got != runs {
+		t.Fatalf("identical resubmissions cost %d extra engine runs fleet-wide", got-runs)
+	}
+
+	// Distinct keys must not all pile onto one shard. 20 keys on 2
+	// members: the chance of a one-sided split is ~2e-6.
+	for seed := uint64(100); seed < 120; seed++ {
+		submitWait(t, f.client, spec(seed))
+	}
+	sub0 := f.scheds[0].Stats().Submitted
+	sub1 := f.scheds[1].Stats().Submitted
+	if sub0 == 0 || sub1 == 0 {
+		t.Fatalf("all distinct keys routed to one shard: %d / %d", sub0, sub1)
+	}
+}
+
+// TestGatewayStatsMerge: the fleet view sums member counters inline
+// (decodable as plain SchedStats by an unmodified client) and carries
+// one healthy row per member.
+func TestGatewayStatsMerge(t *testing.T) {
+	f := newFleet(t, 3)
+	for seed := uint64(1); seed <= 6; seed++ {
+		submitWait(t, f.client, spec(seed))
+	}
+	// The unmodified client decodes the aggregate…
+	agg, err := f.client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSub, wantRuns uint64
+	for _, s := range f.scheds {
+		st := s.Stats()
+		wantSub += st.Submitted
+		wantRuns += st.EngineRuns
+	}
+	if agg.Submitted != wantSub || agg.EngineRuns != wantRuns {
+		t.Fatalf("aggregate stats = %d submitted / %d runs, want %d / %d",
+			agg.Submitted, agg.EngineRuns, wantSub, wantRuns)
+	}
+	// …and the full body carries the per-member rows.
+	resp, err := http.Get(f.front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fleetStats service.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fleetStats); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleetStats.Members) != 3 {
+		t.Fatalf("fleet stats has %d member rows, want 3", len(fleetStats.Members))
+	}
+	for _, m := range fleetStats.Members {
+		if !m.Healthy || m.Stats == nil {
+			t.Fatalf("member %s (shard %d) unhealthy in an all-up fleet: %+v", m.Member, m.Shard, m)
+		}
+	}
+}
+
+// TestGatewayFailover: killing a shard re-homes its arcs onto the
+// survivor — every submission after the kill still completes, the dead
+// member shows up unhealthy in the fleet view, and the gateway stays
+// healthy overall.
+func TestGatewayFailover(t *testing.T) {
+	f := newFleet(t, 2)
+	submitWait(t, f.client, spec(1))
+
+	victim := 1
+	f.shards[victim].Close() // connections now refuse
+	f.scheds[victim].Close()
+
+	// 10 distinct keys: about half belonged to the victim's arcs; all
+	// must complete on the survivor via the ring-successor walk.
+	for seed := uint64(200); seed < 210; seed++ {
+		info := submitWait(t, f.client, spec(seed))
+		if shard, _, _ := f.gw.splitJobID(info.ID); shard == victim {
+			t.Fatalf("job %s routed to the dead shard", info.ID)
+		}
+	}
+
+	resp, err := http.Get(f.front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fleetStats service.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fleetStats); err != nil {
+		t.Fatal(err)
+	}
+	if fleetStats.Members[victim].Healthy || fleetStats.Members[victim].Error == "" {
+		t.Fatalf("dead shard still reported healthy: %+v", fleetStats.Members[victim])
+	}
+	if !fleetStats.Members[1-victim].Healthy {
+		t.Fatalf("survivor reported unhealthy: %+v", fleetStats.Members[1-victim])
+	}
+	if resp, err := http.Get(f.front.URL + "/v1/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway healthz with one survivor: %v (%v)", resp.Status, err)
+	}
+}
+
+// TestGatewayTraceFilterPushdown: ?from/to/core reach the shard
+// unchanged, so a filtered stream through the gateway is byte-for-byte
+// the shard's own filtered restream.
+func TestGatewayTraceFilterPushdown(t *testing.T) {
+	f := newFleet(t, 2)
+	info := submitWait(t, f.client, spec(3))
+	shard, inner, err := f.gw.splitJobID(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := service.NewTraceOptions()
+	opt.Core = 0
+	viaGW, _ := fetchTrace(t, f.client, info.ID, opt)
+	direct, _ := fetchTrace(t, f.clients[shard], inner, opt)
+	if len(viaGW) == 0 || !bytes.Equal(viaGW, direct) {
+		t.Fatalf("filtered stream differs through the gateway: %d vs %d bytes", len(viaGW), len(direct))
+	}
+}
+
+// TestGatewayErrors: malformed specs bounce at the gateway without a
+// network hop, unknown and mis-prefixed job IDs 404, and a job
+// canceled through the gateway reports canceled.
+func TestGatewayErrors(t *testing.T) {
+	f := newFleet(t, 2)
+
+	resp, err := http.Post(f.front.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"scenarios":[{"workload":"nope"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad workload through gateway: %d, want 400", resp.StatusCode)
+	}
+	if n := f.scheds[0].Stats().Submitted + f.scheds[1].Stats().Submitted; n != 0 {
+		t.Fatalf("invalid spec reached %d shard(s)", n)
+	}
+
+	for _, id := range []string{"jdeadbeef", "s99-jdeadbeef", "s1x-j0", "s0-"} {
+		if _, err := f.client.Job(context.Background(), id); err == nil ||
+			!strings.Contains(err.Error(), "404") {
+			t.Fatalf("job %q: err = %v, want 404", id, err)
+		}
+	}
+
+	// Unknown-but-well-formed inner IDs proxy through to the shard's
+	// own 404.
+	if _, err := f.client.Job(context.Background(), "s0-jdeadbeef"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown inner job: err = %v, want shard 404", err)
+	}
+
+	// Inner IDs crafted to decode into path or query metacharacters
+	// must be re-escaped on the proxy hop: they address a (nonexistent)
+	// job of that literal name — never another shard endpoint.
+	for _, path := range []string{
+		"/v1/jobs/s0-j%2F..%2F..%2Fstats", // traversal to /v1/stats
+		"/v1/jobs/s0-j1%3Fscenario%3D9",   // query smuggling
+		"/v1/jobs/s0-jx%2Ftrace",          // sub-route injection
+	} {
+		req, err := http.NewRequest(http.MethodGet, f.front.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("injection path %q: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestGatewayIDRewrite: every JobInfo that crosses the gateway —
+// submit, status, cancel — carries the gateway-qualified ID, never the
+// member-local one.
+func TestGatewayIDRewrite(t *testing.T) {
+	f := newFleet(t, 2)
+	info := submitWait(t, f.client, spec(9))
+	status, err := f.client.Job(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.ID != info.ID {
+		t.Fatalf("status rewrote ID %q -> %q", info.ID, status.ID)
+	}
+	// Cancel a fresh (already-done, but the route is what's under
+	// test) job over the gateway: the response must re-qualify too.
+	req, _ := http.NewRequest(http.MethodDelete, f.front.URL+"/v1/jobs/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var canceled service.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&canceled); err != nil {
+		t.Fatal(err)
+	}
+	if canceled.ID != info.ID {
+		t.Fatalf("cancel rewrote ID %q -> %q", info.ID, canceled.ID)
+	}
+}
+
+// TestGatewayContentAddressAgreement: the key the gateway routes on is
+// the key the shard admits under — pinned by comparing the submit
+// response's Key against a gateway-side ContentAddress call.
+func TestGatewayContentAddressAgreement(t *testing.T) {
+	f := newFleet(t, 2)
+	js := spec(11)
+	key, err := service.ContentAddress(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := submitWait(t, f.client, js)
+	if info.Key != key {
+		t.Fatalf("gateway hashed %s, shard admitted %s — routing and cache keys diverged", key, info.Key)
+	}
+	if owner := f.gw.ring.Lookup(key); owner != f.gw.members[mustShard(t, f, info.ID)].base {
+		t.Fatalf("job ran on %s, ring owner is %s", f.gw.members[mustShard(t, f, info.ID)].base, owner)
+	}
+}
+
+func mustShard(t *testing.T, f *fleet, id string) int {
+	t.Helper()
+	shard, _, err := f.gw.splitJobID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard
+}

@@ -20,7 +20,7 @@ func bigTrace() *trace.Trace {
 			VA:     uint64(0x1000 + i*8),
 			Lat:    uint16(i % 100),
 			Core:   int16(i % 4),
-			Region: int16(i % 3) - 1,
+			Region: int16(i%3) - 1,
 			Kernel: int16(i%2) - 1,
 			Store:  i%2 == 0,
 			Level:  uint8(i % 4),

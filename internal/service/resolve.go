@@ -196,6 +196,18 @@ func scenarioKey(sp ScenarioSpec, mach machine.Spec, cfg core.Config) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ContentAddress resolves a job spec to its content-address — the key
+// the result cache files the job's artifacts under — without running
+// anything. It is the shared keying point of the fleet: the gateway
+// hashes the same resolution the scheduler's cache admission performs,
+// so a submission routed by ContentAddress lands on exactly the shard
+// whose single-flight cache holds (or will hold) its result. Invalid
+// specs return the same error Submit would reject them with.
+func ContentAddress(spec JobSpec) (string, error) {
+	_, key, err := resolveJob(spec)
+	return key, err
+}
+
 // resolveJob resolves every scenario of a spec and derives the job's
 // content-address (the hash of its scenario keys, order included — a
 // job is its scenario sequence).

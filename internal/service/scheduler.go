@@ -468,6 +468,20 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// shutdownErr distinguishes the two causes of a context cancel seen by
+// a running job: Close canceling the base context (the job should fail
+// with the clean 503-style shutdown error) versus a per-job DELETE
+// (ErrCanceled). Reading closed under mu is safe here — Close releases
+// the lock before it cancels and waits.
+func (s *Scheduler) shutdownErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShutdown
+	}
+	return ErrCanceled
+}
+
 // runJob executes a leader job's scenario batch and fills (or aborts)
 // its cache entry, completing every coalesced follower along the way.
 func (s *Scheduler) runJob(job *Job) {
@@ -477,6 +491,18 @@ func (s *Scheduler) runJob(job *Job) {
 		job.mu.Unlock()
 		cancel()
 		s.cache.Abort(job.entry, ErrCanceled)
+		return
+	}
+	if ctx.Err() != nil {
+		// The job was popped in the Close window: a Submit racing Close
+		// handed it to a worker before closed was set, and the base
+		// context is already canceled. Don't start the engine just to
+		// watch it cancel — fail the job with the same clean shutdown
+		// error a post-Close Submit is rejected with.
+		job.mu.Unlock()
+		cancel()
+		s.cache.Abort(job.entry, errShutdown)
+		job.finish(nil, errShutdown)
 		return
 	}
 	job.state = StateRunning
@@ -534,7 +560,10 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 	for i, res := range results {
 		if res.Err != nil {
 			if ctx.Err() != nil {
-				return nil, ErrCanceled
+				// errShutdown when the cancel came from Close, so jobs
+				// caught mid-run by a daemon shutdown report the same
+				// cause as ones rejected at the door.
+				return nil, s.shutdownErr()
 			}
 			return nil, res.Err
 		}

@@ -54,16 +54,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// maxSpecBytes bounds the POST body (a 256-scenario sweep spec is a
-// few tens of KB; a megabyte is generous).
-const maxSpecBytes = 1 << 20
+// MaxSpecBytes bounds the POST /v1/jobs body (a 256-scenario sweep
+// spec is a few tens of KB; a megabyte is generous). Exported so the
+// gateway enforces the identical bound — a spec must never be
+// accepted by one tier and rejected by the next.
+const MaxSpecBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
 	job, err := s.sched.Submit(spec)
@@ -74,10 +76,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else if err == errShutdown {
 			code = http.StatusServiceUnavailable
 		}
-		writeErr(w, code, err)
+		WriteError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	WriteJSON(w, http.StatusOK, job.Info())
 }
 
 // job resolves the {id} path value, writing the 404 itself on a miss.
@@ -85,7 +87,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		WriteError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return nil, false
 	}
 	return j, true
@@ -93,7 +95,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Info())
+		WriteJSON(w, http.StatusOK, j.Info())
 	}
 }
 
@@ -103,14 +105,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sched.Cancel(j.ID); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Info())
+	WriteJSON(w, http.StatusOK, j.Info())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Stats())
+	WriteJSON(w, http.StatusOK, s.sched.Stats())
 }
 
 // artifacts resolves a job's artifacts, mapping unfinished and failed
@@ -123,9 +125,9 @@ func artifacts(w http.ResponseWriter, j *Job) (*JobArtifacts, bool) {
 	case StateDone:
 		return j.Artifacts(), true
 	case StateFailed, StateCanceled:
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s: %s", j.ID, info.State, info.Error))
+		WriteError(w, http.StatusConflict, fmt.Errorf("job %s is %s: %s", j.ID, info.State, info.Error))
 	default:
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll until done", j.ID, info.State))
+		WriteError(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll until done", j.ID, info.State))
 	}
 	return nil, false
 }
@@ -141,7 +143,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := art.Doc
 	doc.Key = j.Key
-	writeJSON(w, http.StatusOK, doc)
+	WriteJSON(w, http.StatusOK, doc)
 }
 
 // traceChunk is the write granularity of full-blob trace responses;
@@ -160,14 +162,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	blob, ok := art.Trace(r.URL.Query().Get("scenario"))
 	if !ok || len(blob.Data) == 0 {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
+		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
 			j.ID, r.URL.Query().Get("scenario")))
 		return
 	}
 
 	hints, keep, err := traceFilter(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -199,7 +201,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	// rejects it).
 	rd, err := trace.OpenV2(bytes.NewReader(blob.Data))
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -251,12 +253,16 @@ func traceFilter(r *http.Request) (trace.ScanHints, func(*trace.Sample) bool, er
 	return hints, keep, nil
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// WriteJSON and WriteError are the wire encoding helpers, shared with
+// the gateway so every tier answers with the same JSON shapes (errors
+// always as the apiError body).
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+// WriteError writes the standard error body.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, apiError{Error: err.Error()})
 }

@@ -638,3 +638,68 @@ func TestResourceBoundsRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestCloseConcurrentSubmitShutsDownCleanly pins the Close/Submit
+// race: a Submit that wins the race against Close may see its leader
+// popped by a worker just as the base context cancels. Every such job
+// must resolve to the clean shutdown error (HTTP 503 at the server) —
+// never to a confusing "canceled" state, and never by burning an
+// engine run against a dead scheduler. Run under -race: the original
+// bug was exactly a window where the popped job raced baseCancel.
+func TestCloseConcurrentSubmitShutsDownCleanly(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s := NewScheduler(SchedConfig{Workers: 2}, NewCache(0))
+		const n = 16
+		var wg sync.WaitGroup
+		jobs := make([]*Job, n)
+		errs := make([]error, n)
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				// Distinct keys per submission (and per round). Three
+				// scenarios per job: cancellation is scenario-granular,
+				// so a worker caught mid-batch by Close sees its
+				// remaining scenarios fail with the context error — the
+				// widest window of the original race.
+				var spec JobSpec
+				for sc := 0; sc < 3; sc++ {
+					spec.Scenarios = append(spec.Scenarios, ScenarioSpec{
+						Workload: "stream", Threads: 2, Elems: 150_000, Iters: 1,
+						Cores: 4, Seed: uint64(10000*round + 10*i + sc + 1), Mode: "none",
+					})
+				}
+				jobs[i], errs[i] = s.Submit(spec)
+			}()
+		}
+		close(start)
+		// Let workers pop into the danger window before closing; the
+		// jitter across rounds sweeps Close over every phase of the
+		// submissions.
+		time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+		s.Close()
+		wg.Wait()
+
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				if errs[i] != errShutdown {
+					t.Fatalf("round %d: Submit racing Close returned %v, want errShutdown", round, errs[i])
+				}
+				continue
+			}
+			info := waitDone(t, jobs[i])
+			switch {
+			case info.State == StateDone:
+				// Won the race outright; fine.
+			case info.State == StateFailed && info.Error == errShutdown.Error():
+				// Lost the race; failed with the clean shutdown cause.
+			default:
+				t.Fatalf("round %d: job racing Close ended %s (%q), want done or the shutdown error",
+					round, info.State, info.Error)
+			}
+		}
+	}
+}

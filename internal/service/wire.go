@@ -221,6 +221,33 @@ type SchedStats struct {
 	Running int `json:"running"`
 }
 
+// MemberStats is one shard's row in a gateway's fleet stats view.
+type MemberStats struct {
+	// Member is the shard's address as the gateway was configured with
+	// it; Shard is its stable index (the job-ID routing prefix).
+	Member string `json:"member"`
+	Shard  int    `json:"shard"`
+	// Healthy reflects the registry's view (probe + proxy outcomes);
+	// Error carries the last failure for unhealthy members.
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Stats is the member's live counter snapshot (nil when the member
+	// was unreachable during the fan-out).
+	Stats *SchedStats `json:"stats,omitempty"`
+}
+
+// FleetStats is the gateway's merged GET /v1/stats body: the summed
+// counters inline — a strict superset of one daemon's SchedStats, so
+// Client.Stats pointed at a gateway decodes the aggregate unchanged —
+// plus one row per member. Sums cover only members that answered the
+// fan-out; unreachable shards appear with Healthy=false and no Stats,
+// so a fleet total during a partial outage is explicitly a lower
+// bound, not a silent undercount.
+type FleetStats struct {
+	SchedStats
+	Members []MemberStats `json:"members"`
+}
+
 // apiError is the JSON error body every non-2xx response carries.
 type apiError struct {
 	Error string `json:"error"`
