@@ -69,18 +69,20 @@ func main() {
 		"sampling backend ("+nmo.SupportedBackends()+"); selects the machine ISA (default spe on ARM); overrides NMO_BACKEND")
 	traceOut := flag.String("trace-out", "",
 		"stream samples to an indexed v2 trace file (bounded memory); overrides NMO_TRACE_OUT")
+	traceCompress := flag.Bool("trace-compress", false,
+		"store the trace in the v2.1 format (per-block compression, same checksum); overrides NMO_TRACE_COMPRESS")
 	remote := flag.String("remote", "",
 		"submit to an nmod daemon at this address instead of simulating locally")
 	priority := flag.Int("priority", 0, "remote mode: job priority (higher runs first)")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut, *remote, *priority); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut, *traceCompress, *remote, *priority); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut, remote string, priority int) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut string, traceCompress bool, remote string, priority int) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
@@ -96,6 +98,9 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 	}
 	if traceOut != "" {
 		cfg.TraceOut = traceOut
+	}
+	if traceCompress {
+		cfg.TraceCompress = true
 	}
 	if remote != "" {
 		return runRemote(remote, workload, threads, elems, iters, cores, seed, priority, cfg)
@@ -243,6 +248,7 @@ func runRemote(addr, workload string, threads, elems, iters, cores int, seed uin
 			TrackRSS: cfg.TrackRSS,
 			BufMiB:   cfg.BufMiB,
 			AuxMiB:   cfg.AuxMiB,
+			Compress: cfg.TraceCompress,
 		})
 	}
 

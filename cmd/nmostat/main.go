@@ -195,7 +195,7 @@ func inspectTrace(out io.Writer, o options) error {
 	var src nmo.SampleSource
 	var rd *nmo.TraceReaderV2
 	switch format {
-	case "v2":
+	case "v2", "v2.1":
 		if rd, err = nmo.OpenTraceV2(f); err != nil {
 			return err
 		}
@@ -207,7 +207,7 @@ func inspectTrace(out io.Writer, o options) error {
 		}
 		src = tr
 	default:
-		return fmt.Errorf("unknown trace format %q (auto, v1, v2)", format)
+		return fmt.Errorf("unknown trace format %q (auto, v1, v2, v2.1)", format)
 	}
 
 	if o.core > 32767 {
@@ -241,7 +241,17 @@ func inspectTrace(out io.Writer, o options) error {
 	if rd != nil {
 		t.AddRow("samples (file)", rd.TotalSamples())
 		read, skipped := rd.ScanStats()
-		t.AddRow("blocks read / skipped", fmt.Sprintf("%d / %d", read, skipped))
+		if rd.Compressed() {
+			// A skipped v2.1 block skipped its decompression too; the
+			// ratio row quantifies what the frames saved on disk.
+			t.AddRow("blocks read / skipped",
+				fmt.Sprintf("%d / %d (decompress skipped %d)", read, skipped, skipped))
+			stored, raw := rd.PayloadSizes()
+			t.AddRow("block compression",
+				fmt.Sprintf("%d -> %d bytes (%.2fx)", raw, stored, ratio(raw, stored)))
+		} else {
+			t.AddRow("blocks read / skipped", fmt.Sprintf("%d / %d", read, skipped))
+		}
 		if !filtered {
 			status := "ok"
 			if sum.MD5 != rd.MD5() {
@@ -278,7 +288,15 @@ func inspectTrace(out io.Writer, o options) error {
 	return report.LevelTable(out, sum.Levels.By)
 }
 
-// sniffFormat distinguishes v1 from v2 traces by their magic and
+// ratio returns raw/stored (0 when stored is 0 — an empty trace).
+func ratio(raw, stored uint64) float64 {
+	if stored == 0 {
+		return 0
+	}
+	return float64(raw) / float64(stored)
+}
+
+// sniffFormat distinguishes v1, v2 and v2.1 traces by their magic and
 // rewinds the file.
 func sniffFormat(f io.ReadSeeker) (string, error) {
 	var magic [4]byte
@@ -293,6 +311,8 @@ func sniffFormat(f io.ReadSeeker) (string, error) {
 		return "v1", nil
 	case trace.MagicV2:
 		return "v2", nil
+	case trace.MagicV21:
+		return "v2.1", nil
 	}
 	return "", fmt.Errorf("%w: unrecognized magic %x", trace.ErrBadTrace, magic)
 }

@@ -150,6 +150,11 @@ type Config struct {
 	// TraceBlockSamples overrides the v2 block granularity
 	// (0 = trace.DefaultBlockSamples).
 	TraceBlockSamples int
+	// TraceCompress (NMO_TRACE_COMPRESS) writes the TraceOut file in
+	// the v2.1 format: per-block compressed frames, same sample stream
+	// and rolling MD5. Delivery-only, like TraceBlockSamples — it packs
+	// the stored bytes, not what the stream contains.
+	TraceCompress bool
 	// Costs overrides the kernel cost model (zero fields keep the
 	// calibrated defaults); the scaled-down experiments shrink costs
 	// together with run lengths.
@@ -279,9 +284,9 @@ func (c Config) Validate() error {
 // can change what a run computes: the Table I knobs, the code-level
 // attr knobs, the seed, and the kernel cost model, in fixed order.
 // Delivery-only fields are excluded on purpose — Name, SinkFactory,
-// TraceOut, TraceBlockSamples and MaxSamples choose where the sample
-// stream goes and how much of it is retained, not what the stream
-// contains — so two configurations with equal CanonicalBytes produce
+// TraceOut, TraceBlockSamples, TraceCompress and MaxSamples choose
+// where the sample stream goes and how it is stored, not what the
+// stream contains — so two configurations with equal CanonicalBytes produce
 // bit-identical profiles (the simulator is deterministic, DESIGN.md
 // §7). The service layer's content-addressed result cache hashes this
 // encoding; core owns it so the semantic/delivery split stays next to
@@ -352,6 +357,9 @@ func FromEnv(getenv func(string) string) (Config, error) {
 	}
 	if v := getenv("NMO_TRACE_OUT"); v != "" {
 		c.TraceOut = v
+	}
+	if v := getenv("NMO_TRACE_COMPRESS"); v != "" {
+		c.TraceCompress = isTruthy(v)
 	}
 	if v := getenv("NMO_BUFSIZE"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -162,6 +162,10 @@ type run struct {
 	collect   *trace.Collect
 	v2        *trace.WriterV2
 	traceFile *os.File
+	// batch is the decode stage's span arena: decodeSpan gathers each
+	// drained span's samples here and hands the boundary one slice, so
+	// the steady state allocates nothing per PMI.
+	batch []trace.Sample
 	// sum16 reads the run's checksum from whichever streaming sink
 	// carries one (chosen once, in setupSinks); nil on the Collect
 	// path, which hashes the stored trace at aggregate time instead.
@@ -388,7 +392,11 @@ func (r *run) setupSinks() error {
 			return fmt.Errorf("core: NMO_TRACE_OUT: %w", err)
 		}
 		r.traceFile = f
-		w, err := trace.NewWriterV2(f, meta, cfg.TraceBlockSamples)
+		newWriter := trace.NewWriterV2
+		if cfg.TraceCompress {
+			newWriter = trace.NewWriterV21
+		}
+		w, err := newWriter(f, meta, cfg.TraceBlockSamples)
 		if err != nil {
 			return err
 		}
@@ -491,18 +499,21 @@ func (r *run) samplingAttr(kind sampler.Kind) *perfev.Attr {
 }
 
 // decodeSpan is the decode stage's hot path: it parses one drained aux
-// span with the backend's decoder and pushes each attributed sample
-// through the boundary into the sink chain. It runs inside kernel
-// wakeups during execute and again from drain for the residual flush.
-// The decoder already normalized the record (PEBS IP skid is baked
-// into PC, the data source is a hierarchy level), so attribution is
-// backend-free; now is the service time, which upper-bounds every
+// span with the backend's decoder, gathers the attributed samples into
+// the run's reusable span arena, and hands the boundary the whole span
+// as one batch. It runs inside kernel wakeups during execute and again
+// from drain for the residual flush. The decoder already normalized
+// the record (PEBS IP skid is baked into PC, the data source is a
+// hierarchy level), so attribution is backend-free; now is the service
+// time — constant across the span, which is what makes the batched
+// hand-off emit the exact per-sample sequence — and upper-bounds every
 // drained sample's completion timestamp.
 func (r *run) decodeSpan(core int16, now sim.Cycles, span []byte) {
 	nowNs := r.nsOf(now)
+	batch := r.batch[:0]
 	st := r.decoder.DecodeSpan(span, func(s *sampler.Sample) {
 		r.prof.Sampler.Processed++
-		smp := trace.Sample{
+		batch = append(batch, trace.Sample{
 			TimeNs: r.ts.ToNanos(s.TS),
 			VA:     s.VA,
 			PC:     s.PC,
@@ -512,9 +523,12 @@ func (r *run) decodeSpan(core int16, now sim.Cycles, span []byte) {
 			Kernel: -1, // assigned at the boundary
 			Store:  s.Store,
 			Level:  s.Level,
-		}
-		r.boundary.push(&smp, nowNs)
+		})
 	})
+	if len(batch) > 0 {
+		r.boundary.pushBatch(batch, nowNs)
+	}
+	r.batch = batch[:0] // keep the grown arena for the next span
 	r.prof.Sampler.SkippedInvalid += uint64(st.Skipped)
 }
 

@@ -30,7 +30,7 @@ import (
 // byte for byte). The buffer drains at the next decode wakeup and is
 // flushed completely by finish(), after every window has closed.
 type emitBoundary struct {
-	sink trace.Sink
+	sink trace.BatchSink
 	// open is the live marker state (label -> startNs), shared with
 	// the run's marker callback.
 	open map[int16]uint64
@@ -48,7 +48,7 @@ type emitBoundary struct {
 }
 
 func newEmitBoundary(sink trace.Sink, open map[int16]uint64) *emitBoundary {
-	return &emitBoundary{sink: sink, open: open}
+	return &emitBoundary{sink: trace.ToBatch(sink), open: open}
 }
 
 // windowClosed inserts a finished window at its (startNs, label) sort
@@ -66,25 +66,45 @@ func (b *emitBoundary) windowClosed(w kernelWindow) {
 	b.closed[i] = w
 }
 
-// push hands one decoded sample to the boundary. nowNs is the current
-// machine time in trace nanoseconds; samples strictly older than it
-// are attributable immediately, the rest wait in the reorder buffer.
-func (b *emitBoundary) push(s *trace.Sample, nowNs uint64) {
-	if b.head == len(b.pending) && s.TimeNs < nowNs {
-		b.emit(s)
+// pushBatch hands one decoded span's samples to the boundary. nowNs is
+// the current machine time in trace nanoseconds — constant across the
+// span, so the decidable set is a prefix: samples strictly older than
+// nowNs are attributable immediately and released as one batch, the
+// rest wait in the reorder buffer. The emission sequence is identical
+// to pushing each sample individually (arrival order, same decision
+// point), so trace bytes and checksums are unchanged; only the
+// dispatch granularity differs. The batch slice is caller-owned and
+// reusable as soon as pushBatch returns.
+func (b *emitBoundary) pushBatch(batch []trace.Sample, nowNs uint64) {
+	if b.head == len(b.pending) {
+		n := 0
+		for n < len(batch) && batch[n].TimeNs < nowNs {
+			n++
+		}
+		if n > 0 {
+			b.emitBatch(batch[:n])
+		}
+		if n < len(batch) {
+			b.pending = append(b.pending, batch[n:]...)
+		}
 		return
 	}
-	b.pending = append(b.pending, *s)
+	b.pending = append(b.pending, batch...)
 	b.drain(nowNs)
 }
 
 // drain releases pending samples whose attribution became decidable,
 // preserving arrival order (head-of-line blocking keeps a young ready
-// sample behind an old not-yet-ready one).
+// sample behind an old not-yet-ready one). The decidable prefix goes
+// out as one batch.
 func (b *emitBoundary) drain(nowNs uint64) {
-	for b.head < len(b.pending) && b.pending[b.head].TimeNs < nowNs {
-		b.emit(&b.pending[b.head])
-		b.head++
+	n := b.head
+	for n < len(b.pending) && b.pending[n].TimeNs < nowNs {
+		n++
+	}
+	if n > b.head {
+		b.emitBatch(b.pending[b.head:n])
+		b.head = n
 	}
 	if b.head == len(b.pending) {
 		b.pending = b.pending[:0]
@@ -96,24 +116,26 @@ func (b *emitBoundary) drain(nowNs uint64) {
 // once every window has closed (after the run's leftover-close and
 // final drain), when attribution is decidable for any timestamp.
 func (b *emitBoundary) finish() error {
-	for b.head < len(b.pending) {
-		b.emit(&b.pending[b.head])
-		b.head++
+	if b.head < len(b.pending) {
+		b.emitBatch(b.pending[b.head:])
 	}
 	b.pending, b.head = nil, 0
 	return b.err
 }
 
-// emit attributes and releases one sample.
-func (b *emitBoundary) emit(s *trace.Sample) {
-	if k := b.attribute(s.TimeNs); k >= 0 {
-		s.Kernel = k
+// emitBatch attributes the samples in place and releases them to the
+// sink chain in one call.
+func (b *emitBoundary) emitBatch(batch []trace.Sample) {
+	for i := range batch {
+		if k := b.attribute(batch[i].TimeNs); k >= 0 {
+			batch[i].Kernel = k
+		}
 	}
-	b.emitted++
+	b.emitted += uint64(len(batch))
 	if b.err != nil {
 		return
 	}
-	b.err = b.sink.Emit(s)
+	b.err = b.sink.EmitBatch(batch)
 }
 
 // attribute finds the tagged phase containing t: the highest

@@ -392,31 +392,50 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 	copyResponse(w, resp, flusherFor(w))
 }
 
+// copyBufPool recycles the proxy copy buffers: 256 KB apiece, one per
+// in-flight streamed response instead of one allocation per request.
+var copyBufPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 256<<10); return &b },
+}
+
+// flushWriter flushes after every Write, keeping proxied trace streams
+// incremental through io.CopyBuffer. It deliberately does NOT
+// implement io.ReaderFrom — the pooled buffer below stays the copy
+// granularity, and each chunk reaches the client as soon as it is
+// relayed.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if f.fl != nil {
+		f.fl.Flush()
+	}
+	return n, err
+}
+
 // copyResponse relays a member response: relevant headers, status,
-// then the body — flushed chunk-by-chunk when fl is set so trace
-// streams stay incremental through the gateway.
+// then the body through a pooled copy buffer — flushed chunk-by-chunk
+// when fl is set so trace streams stay incremental through the
+// gateway. Content-Length passes through (the shard sets it on
+// unfiltered trace blobs), so byte-for-byte delivery is preserved
+// tier to tier.
 func copyResponse(w http.ResponseWriter, resp *http.Response, fl http.Flusher) {
-	for _, h := range []string{"Content-Type", "X-Nmo-Trace-Md5"} {
+	for _, h := range []string{"Content-Type", "Content-Length", "X-Nmo-Trace-Md5"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	buf := make([]byte, 256<<10)
-	for {
-		n, err := resp.Body.Read(buf)
-		if n > 0 {
-			if _, werr := w.Write(buf[:n]); werr != nil {
-				return // client went away
-			}
-			if fl != nil {
-				fl.Flush()
-			}
-		}
-		if err != nil {
-			return
-		}
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	var dst io.Writer = w
+	if fl != nil {
+		dst = flushWriter{w: w, fl: fl}
 	}
+	io.CopyBuffer(dst, resp.Body, *bufp) // error means the client went away
 }
 
 func flusherFor(w http.ResponseWriter) http.Flusher {

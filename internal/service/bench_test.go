@@ -64,7 +64,10 @@ func BenchmarkServiceThroughput(b *testing.B) {
 }
 
 // BenchmarkServiceTraceStream measures streaming a cached trace blob
-// over HTTP (the hot read path of a dashboard polling one run).
+// over HTTP (the hot read path of a dashboard polling one run), raw v2
+// against compressed v2.1. Both variants report MB/s of *sample
+// payload* delivered — the raw blob size — so the compressed number
+// directly shows what shipping fewer wire bytes buys.
 func BenchmarkServiceTraceStream(b *testing.B) {
 	sched := NewScheduler(SchedConfig{Workers: 1}, NewCache(0))
 	defer sched.Close()
@@ -73,22 +76,54 @@ func BenchmarkServiceTraceStream(b *testing.B) {
 	client := NewClient(srv.URL)
 	ctx := context.Background()
 
-	info, err := client.Submit(ctx, benchSpec(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	if _, err := client.Wait(ctx, info.ID, time.Millisecond); err != nil {
-		b.Fatal(err)
-	}
-
-	var buf bytes.Buffer
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf.Reset()
+	submit := func(compress bool) (string, int64) {
+		// Unlike benchSpec, the trace bench wants a transfer-dominated
+		// blob (hundreds of KiB), not a service-overhead-dominated one.
+		spec := benchSpec(1)
+		spec.Scenarios[0].Elems = 200_000
+		spec.Scenarios[0].Iters = 4
+		spec.Scenarios[0].Period = 64
+		spec.Scenarios[0].Compress = compress
+		info, err := client.Submit(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Wait(ctx, info.ID, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
 		n, _, err := client.DownloadTrace(ctx, info.ID, NewTraceOptions(), &buf)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.SetBytes(n)
+		return info.ID, n
+	}
+	rawID, rawBytes := submit(false)
+	compID, compBytes := submit(true)
+
+	for _, bc := range []struct {
+		name string
+		id   string
+		wire int64
+	}{
+		{"raw", rawID, rawBytes},
+		{"compressed", compID, compBytes},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			b.SetBytes(rawBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				n, _, err := client.DownloadTrace(ctx, bc.id, NewTraceOptions(), &buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != bc.wire {
+					b.Fatalf("downloaded %d bytes, want %d", n, bc.wire)
+				}
+			}
+			b.ReportMetric(float64(bc.wire)/float64(rawBytes), "wire-ratio")
+		})
 	}
 }

@@ -1,17 +1,33 @@
 package service
 
 import (
+	"bytes"
+	"io"
 	"sync"
 )
 
-// TraceBlob is one scenario's stored v2 trace: the exact bytes the
-// run's WriterV2 sink produced, plus the stream's rolling MD5. The
-// trace endpoint serves Data verbatim (unfiltered requests must be
+// TraceBlob is one scenario's stored v2 (or v2.1) trace: the exact
+// bytes the run's writer sink produced, plus the stream's rolling MD5.
+// The trace endpoint serves Data verbatim (unfiltered requests must be
 // byte-identical to a local run's file) or restreams a filtered copy.
 type TraceBlob struct {
 	Name string
 	Data []byte
 	MD5  [16]byte
+}
+
+// Size returns the blob's byte length.
+func (b *TraceBlob) Size() int64 { return int64(len(b.Data)) }
+
+// SectionReader returns an io.ReaderAt-backed view of the stored
+// bytes. This is the delivery seam: handlers hand it straight to
+// io.Copy (net/http's ResponseWriter implements io.ReaderFrom, so the
+// unfiltered path is a single copy loop with no intermediate chunking)
+// and to trace.OpenV2 for filtered restreams. When the cache learns to
+// spill blobs to disk, this returns a file-backed section and the
+// unfiltered path becomes sendfile-eligible without touching handlers.
+func (b *TraceBlob) SectionReader() *io.SectionReader {
+	return io.NewSectionReader(bytes.NewReader(b.Data), 0, int64(len(b.Data)))
 }
 
 // JobArtifacts is everything a finished job can serve: the result

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"nmo/internal/trace"
+)
+
+// submitWait submits spec and blocks until it is done, returning the
+// job's first trace blob.
+func submitWait(t *testing.T, sched *Scheduler, client *Client, spec JobSpec) (string, TraceBlob) {
+	t.Helper()
+	ctx := context.Background()
+	info, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	job, ok := sched.Get(info.ID)
+	if !ok {
+		t.Fatalf("job %s vanished", info.ID)
+	}
+	return info.ID, job.Artifacts().Traces[0]
+}
+
+// TestHTTPTraceServeRegression pins the zero-copy serving rework: for
+// v2 and v2.1 blobs alike, the unfiltered response is the stored blob
+// verbatim with the blob's MD5 in X-Nmo-Trace-Md5, and the filtered
+// response is a valid same-format file holding exactly the matching
+// samples. Both formats carry the same rolling MD5 for the same run.
+func TestHTTPTraceServeRegression(t *testing.T) {
+	_, sched, client := newTestServer(t, SchedConfig{Workers: 1})
+	ctx := context.Background()
+
+	var md5s [2][16]byte
+	for fi, compress := range []bool{false, true} {
+		spec := quickJob(57)
+		spec.Scenarios[0].Compress = compress
+		id, blob := submitWait(t, sched, client, spec)
+		md5s[fi] = blob.MD5
+
+		// Unfiltered: the wire bytes are the blob, the header is its
+		// checksum.
+		var buf bytes.Buffer
+		n, md5hex, err := client.DownloadTrace(ctx, id, NewTraceOptions(), &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), blob.Data) {
+			t.Errorf("compress=%t: served bytes differ from the stored blob", compress)
+		}
+		if n != blob.Size() {
+			t.Errorf("compress=%t: served %d bytes, blob holds %d", compress, n, blob.Size())
+		}
+		if md5hex != hex.EncodeToString(blob.MD5[:]) {
+			t.Errorf("compress=%t: X-Nmo-Trace-Md5 %s != blob %x", compress, md5hex, blob.MD5)
+		}
+		rd, err := trace.OpenV2(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Compressed() != compress {
+			t.Errorf("compress=%t: served file reports Compressed()=%t", compress, rd.Compressed())
+		}
+
+		// Filtered: same predicate locally and over the wire.
+		lo, hi := rd.Block(0).TimeMin, rd.Block(rd.NumBlocks()-1).TimeMax
+		from, to := lo+(hi-lo)/4, lo+3*(hi-lo)/4
+		var want []trace.Sample
+		if err := rd.Scan(trace.ScanHints{}, func(s *trace.Sample) {
+			if s.TimeNs >= from && s.TimeNs < to {
+				want = append(want, *s)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		opt := NewTraceOptions()
+		opt.FromNs, opt.ToNs = from, to
+		buf.Reset()
+		if _, _, err := client.DownloadTrace(ctx, id, opt, &buf); err != nil {
+			t.Fatal(err)
+		}
+		frd, err := trace.OpenV2(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("compress=%t: filtered stream invalid: %v", compress, err)
+		}
+		var got []trace.Sample
+		if err := frd.Scan(trace.ScanHints{}, func(s *trace.Sample) { got = append(got, *s) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("compress=%t: filtered stream has %d samples, want %d", compress, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("compress=%t: filtered sample %d = %+v, want %+v", compress, i, got[i], want[i])
+			}
+		}
+	}
+	// The same scenario checksums identically whether stored as v2 or
+	// v2.1 — compression never touches the sample stream.
+	if md5s[0] != md5s[1] {
+		t.Error("v2 and v2.1 runs of the same scenario have different MD5s")
+	}
+}
+
+// TestCompressedTraceJobsDeterminism: the v2.1 blob is byte-identical
+// whether the engine ran the job on 1 worker or 8 — compression sits
+// below the deterministic sample stream, so parallelism cannot leak
+// into the stored bytes.
+func TestCompressedTraceJobsDeterminism(t *testing.T) {
+	spec := quickJob(58)
+	spec.Scenarios[0].Compress = true
+
+	var blobs [2]TraceBlob
+	for i, jobs := range []int{1, 8} {
+		_, sched, client := newTestServer(t, SchedConfig{Workers: 1, EngineJobs: jobs})
+		_, blobs[i] = submitWait(t, sched, client, spec)
+	}
+	if !bytes.Equal(blobs[0].Data, blobs[1].Data) {
+		t.Error("v2.1 blob bytes differ between EngineJobs=1 and EngineJobs=8")
+	}
+	if blobs[0].MD5 != blobs[1].MD5 {
+		t.Error("v2.1 blob MD5 differs between EngineJobs=1 and EngineJobs=8")
+	}
+}

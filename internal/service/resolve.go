@@ -16,7 +16,7 @@ import (
 // keyVersion salts every cache key; bump it when resolution or the
 // stored-artifact shape changes so stale entries can never be served
 // across an upgrade.
-const keyVersion = "nmo-service-v1"
+const keyVersion = "nmo-service-v2"
 
 // resolved is one normalized, executable scenario: the spec with every
 // default filled, plus the core.Config / machine.Spec pair it maps to
@@ -191,8 +191,8 @@ func scenarioKey(sp ScenarioSpec, mach machine.Spec, cfg core.Config) string {
 	// encodes them deterministically.
 	enc := json.NewEncoder(h)
 	enc.Encode(mach)
-	fmt.Fprintf(h, "workload=%s\nthreads=%d\nelems=%d\niters=%d\nseed=%d\nblock=%d\n",
-		sp.Workload, sp.Threads, sp.Elems, sp.Iters, sp.Seed, sp.BlockSamples)
+	fmt.Fprintf(h, "workload=%s\nthreads=%d\nelems=%d\niters=%d\nseed=%d\nblock=%d\ncompress=%t\n",
+		sp.Workload, sp.Threads, sp.Elems, sp.Iters, sp.Seed, sp.BlockSamples, sp.Compress)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -537,13 +537,17 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 		}
 		if r.cfg.Mode.Sampling() {
 			blockSamples := r.spec.BlockSamples
+			newWriter := trace.NewWriterV2
+			if r.spec.Compress {
+				newWriter = trace.NewWriterV21
+			}
 			// The factory runs once, on the executing engine worker;
 			// each scenario writes its private slot, and the engine's
 			// completion barrier publishes the slices to this
 			// goroutine.
 			scs[i].SinkFactory = func(meta trace.Meta) (trace.Sink, error) {
 				buf := &bytes.Buffer{}
-				w, err := trace.NewWriterV2(buf, meta, blockSamples)
+				w, err := newWriter(buf, meta, blockSamples)
 				if err != nil {
 					return nil, err
 				}

@@ -1,10 +1,10 @@
 package service
 
 import (
-	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -17,7 +17,7 @@ import (
 //	GET    /v1/jobs/{id}         job status; 200 JobInfo
 //	DELETE /v1/jobs/{id}         cancel; 200 JobInfo
 //	GET    /v1/jobs/{id}/result  finished job's ResultDoc
-//	GET    /v1/jobs/{id}/trace   v2 trace stream (chunked);
+//	GET    /v1/jobs/{id}/trace   v2/v2.1 trace stream;
 //	                             ?scenario=name|index selects the blob,
 //	                             ?from/?to (ns) and ?core push down to
 //	                             the block index server-side
@@ -146,11 +146,6 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, doc)
 }
 
-// traceChunk is the write granularity of full-blob trace responses;
-// no Content-Length is set, so net/http chunks the transfer and the
-// client can consume the stream incrementally.
-const traceChunk = 256 << 10
-
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -167,90 +162,67 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	hints, keep, err := traceFilter(r)
+	lo, hi, core, filtered, err := traceFilter(r)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if keep == nil {
-		// Unfiltered: the stored bytes verbatim, rolling MD5 echoed so
-		// clients can verify without reading the tail first.
+	if !filtered {
+		// Unfiltered: the stored bytes verbatim in one copy — net/http's
+		// ResponseWriter is an io.ReaderFrom, so io.Copy runs its
+		// ReadFrom loop without any intermediate chunk buffer (and once
+		// the blob is file-backed, as sendfile). The rolling MD5 is
+		// echoed so clients can verify without reading the tail first;
+		// Content-Length lets them preallocate.
 		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(blob.MD5[:]))
+		w.Header().Set("Content-Length", strconv.FormatInt(blob.Size(), 10))
 		w.WriteHeader(http.StatusOK)
-		flusher, _ := w.(http.Flusher)
-		for off := 0; off < len(blob.Data); off += traceChunk {
-			end := off + traceChunk
-			if end > len(blob.Data) {
-				end = len(blob.Data)
-			}
-			if _, err := w.Write(blob.Data[off:end]); err != nil {
-				return // client went away
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
+		io.Copy(w, blob.SectionReader()) // error means the client went away
 		return
 	}
 
-	// Filtered: restream through the block-skip push-down. The
-	// response is a fresh, self-describing v2 stream; errors past the
-	// header surface as a truncated chunked body (the client's OpenV2
-	// rejects it).
-	rd, err := trace.OpenV2(bytes.NewReader(blob.Data))
+	// Filtered: restream through the block-skip push-down. Blocks the
+	// index proves entirely inside the predicate are spliced in their
+	// stored form (no decode, no decompress/recompress); boundary
+	// blocks are exact-filtered. The response is a fresh, self-
+	// describing v2/v2.1 stream; errors past the header surface as a
+	// truncated chunked body (the client's OpenV2 rejects it).
+	rd, err := trace.OpenV2(blob.SectionReader())
 	if err != nil {
 		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	trace.Restream(rd, w, hints, keep, 0)
+	trace.RestreamExact(rd, w, lo, hi, core)
 }
 
-// traceFilter maps ?from/?to/?core onto the push-down pair: block-
-// skip hints for the stored blob's index plus the exact keep
-// predicate. A request without filters returns a nil keep — the
-// serve-verbatim fast path.
-func traceFilter(r *http.Request) (trace.ScanHints, func(*trace.Sample) bool, error) {
+// traceFilter parses ?from/?to/?core into the canonical trace
+// predicate: timestamps in [lo, hi) (0 = unbounded) and an exact core
+// (-1 = all). filtered reports whether any filter was requested —
+// false selects the serve-verbatim fast path.
+func traceFilter(r *http.Request) (lo, hi uint64, core int, filtered bool, err error) {
 	q := r.URL.Query()
-	var hints trace.ScanHints
-	var err error
+	core = -1
 	if v := q.Get("from"); v != "" {
-		if hints.TimeLo, err = strconv.ParseUint(v, 10, 64); err != nil {
-			return hints, nil, fmt.Errorf("bad from %q", v)
+		if lo, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return 0, 0, -1, false, fmt.Errorf("bad from %q", v)
 		}
 	}
 	if v := q.Get("to"); v != "" {
-		if hints.TimeHi, err = strconv.ParseUint(v, 10, 64); err != nil {
-			return hints, nil, fmt.Errorf("bad to %q", v)
+		if hi, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return 0, 0, -1, false, fmt.Errorf("bad to %q", v)
 		}
 	}
-	core := -1
 	if v := q.Get("core"); v != "" {
 		c, err := strconv.Atoi(v)
 		if err != nil || c < 0 {
-			return hints, nil, fmt.Errorf("bad core %q", v)
+			return 0, 0, -1, false, fmt.Errorf("bad core %q", v)
 		}
 		core = c
-		hints.CoreMask = trace.CoreBit(int16(c))
 	}
-	if hints.TimeLo == 0 && hints.TimeHi == 0 && core < 0 {
-		return hints, nil, nil
-	}
-	h := hints
-	keep := func(s *trace.Sample) bool {
-		if h.TimeLo != 0 && s.TimeNs < h.TimeLo {
-			return false
-		}
-		if h.TimeHi != 0 && s.TimeNs >= h.TimeHi {
-			return false
-		}
-		// Exact core equality: the hint mask aliases mod 64, the
-		// predicate must not.
-		return core < 0 || int(s.Core) == core
-	}
-	return hints, keep, nil
+	return lo, hi, core, lo != 0 || hi != 0 || core >= 0, nil
 }
 
 // WriteJSON and WriteError are the wire encoding helpers, shared with

@@ -97,6 +97,12 @@ type ScenarioSpec struct {
 	// trace (0 = trace.DefaultBlockSamples). It shapes the stored
 	// bytes, so it participates in the cache key.
 	BlockSamples int `json:"block_samples,omitempty"`
+	// Compress stores the trace in the v2.1 format (per-block
+	// compressed frames; same sample stream and rolling MD5). Like
+	// BlockSamples it shapes the stored bytes, so it participates in
+	// the cache key — a compressed and an uncompressed run of the same
+	// scenario are distinct cache entries with equal checksums.
+	Compress bool `json:"compress,omitempty"`
 }
 
 // JobSpec is the POST /v1/jobs request body: a batch of scenarios

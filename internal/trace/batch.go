@@ -1,0 +1,131 @@
+// Batch extension of the Sink contract. The decode stage drains the
+// reorder buffer in decided spans, so the natural unit crossing the
+// sink boundary is a []Sample slice, not one sample: EmitBatch turns
+// thousands of per-sample interface dispatches into one virtual call
+// plus a tight concrete loop (or, for the hash and the v2 writer, one
+// bulk encode + one hash.Write). Every built-in sink implements it
+// natively; ToBatch adapts third-party Sinks by looping Emit, so the
+// pipeline upgrades transparently.
+package trace
+
+// BatchSink is a Sink that also accepts samples in batches. EmitBatch
+// must be semantically identical to calling Emit on each element in
+// order — same state, same errors, same rolling checksums (hashes are
+// over a concatenation, which is invariant to write boundaries).
+//
+// The batch slice is caller-owned and reused across calls: a sink must
+// not retain it or mutate its elements, and must copy any sample it
+// keeps (the same aliasing rule Emit has for its *Sample).
+type BatchSink interface {
+	Sink
+	EmitBatch(batch []Sample) error
+}
+
+// ToBatch returns s as a BatchSink: s itself when it already is one,
+// otherwise an adapter that loops Emit. The adapter keeps legacy sinks
+// working on the batch pipeline at their old per-sample dispatch cost.
+func ToBatch(s Sink) BatchSink {
+	if bs, ok := s.(BatchSink); ok {
+		return bs
+	}
+	return &batchAdapter{s}
+}
+
+type batchAdapter struct{ Sink }
+
+func (a *batchAdapter) EmitBatch(batch []Sample) error {
+	for i := range batch {
+		if err := a.Sink.Emit(&batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitBatch fans the batch out to every sink natively.
+func (t *Tee) EmitBatch(batch []Sample) error {
+	for _, bs := range t.batch {
+		if err := bs.EmitBatch(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitBatch bulk-appends the batch, truncating at the cap.
+func (c *Collect) EmitBatch(batch []Sample) error {
+	if c.Max >= 0 {
+		room := c.Max - len(c.Trace.Samples)
+		if room < 0 {
+			room = 0
+		}
+		if room < len(batch) {
+			c.Truncated += uint64(len(batch) - room)
+			batch = batch[:room]
+		}
+	}
+	c.Trace.Samples = append(c.Trace.Samples, batch...)
+	return nil
+}
+
+// EmitBatch encodes the whole batch into a scratch buffer and folds it
+// into the hash with a single Write — one MD5 block pass instead of one
+// per sample.
+func (h *Hash) EmitBatch(batch []Sample) error {
+	need := len(batch) * sampleWireSize
+	if cap(h.scratch) < need {
+		h.scratch = make([]byte, need)
+	}
+	buf := h.scratch[:need]
+	for i := range batch {
+		encodeSample(buf[i*sampleWireSize:], &batch[i])
+	}
+	h.h.Write(buf)
+	h.n += uint64(len(batch))
+	return nil
+}
+
+// EmitBatch counts the batch with the index choice hoisted out of the
+// loop.
+func (c *CountHist) EmitBatch(batch []Sample) error {
+	by, other := c.by, c.other
+	if c.kernel {
+		for i := range batch {
+			if idx := batch[i].Kernel; idx >= 0 && int(idx) < len(by) {
+				by[idx]++
+			} else {
+				other++
+			}
+		}
+	} else {
+		for i := range batch {
+			if idx := batch[i].Region; idx >= 0 && int(idx) < len(by) {
+				by[idx]++
+			} else {
+				other++
+			}
+		}
+	}
+	c.other = other
+	return nil
+}
+
+// EmitBatch counts the batch's data-source levels.
+func (l *LevelHist) EmitBatch(batch []Sample) error {
+	for i := range batch {
+		lv := batch[i].Level
+		if lv > 3 {
+			lv = 3
+		}
+		l.By[lv]++
+	}
+	return nil
+}
+
+// EmitBatch updates every aggregate with one pass per component.
+func (a *Aggregate) EmitBatch(batch []Sample) error {
+	a.Hash.EmitBatch(batch)
+	a.Levels.EmitBatch(batch)
+	a.Regions.EmitBatch(batch)
+	return a.Kernels.EmitBatch(batch)
+}

@@ -40,3 +40,77 @@ func Restream(rd *ReaderV2, w io.Writer, h ScanHints, keep func(*Sample) bool, b
 	}
 	return wr.Total(), wr.Close()
 }
+
+// RestreamExact writes a filtered copy of rd to w under the canonical
+// service predicate — timestamps in [lo, hi) (0 = unbounded) and an
+// optional single core (-1 = all) — preserving the source's block
+// granularity and compression mode. It improves on Restream by
+// splicing: a block the index proves entirely inside the predicate is
+// copied in its stored form (compressed frames move without a
+// decompress/recompress or sample decode/re-encode round trip; raw
+// blocks without even a sample decode), while boundary blocks are
+// exact-filtered and re-encoded as usual. The output is a valid v2 or
+// v2.1 stream with its own index and rolling MD5 — identical bytes to
+// the re-encode path, just cheaper.
+//
+// Returns the number of samples written and how many blocks were
+// spliced verbatim.
+func RestreamExact(rd *ReaderV2, w io.Writer, lo, hi uint64, core int) (uint64, int, error) {
+	wr, err := newWriterV2(w, rd.Meta(), rd.blockSamples, rd.compressed)
+	if err != nil {
+		return 0, 0, err
+	}
+	hints := ScanHints{TimeLo: lo, TimeHi: hi}
+	if core >= 0 {
+		hints.CoreMask = CoreBit(int16(core))
+	}
+	spliced := 0
+	var buf []Sample
+	for i := 0; i < rd.NumBlocks(); i++ {
+		b := rd.index[i]
+		if !hints.Admits(b) {
+			rd.skip++
+			continue
+		}
+		rd.read++
+		// The index proves every sample matches when the time range is
+		// contained and no core filter applies (CoreMask aliases at 64
+		// cores, so a mask hit alone proves nothing).
+		whole := core < 0 &&
+			(lo == 0 || b.TimeMin >= lo) &&
+			(hi == 0 || b.TimeMax < hi)
+		if whole {
+			if err := wr.flushBlock(); err != nil {
+				return wr.Total(), spliced, err
+			}
+			stored, payload, err := rd.readStoredBlock(i)
+			if err != nil {
+				return wr.Total(), spliced, err
+			}
+			if err := wr.spliceBlock(b, stored, payload); err != nil {
+				return wr.Total(), spliced, err
+			}
+			spliced++
+			continue
+		}
+		if buf, err = rd.ReadBlock(i, buf); err != nil {
+			return wr.Total(), spliced, err
+		}
+		for j := range buf {
+			s := &buf[j]
+			if lo != 0 && s.TimeNs < lo {
+				continue
+			}
+			if hi != 0 && s.TimeNs >= hi {
+				continue
+			}
+			if core >= 0 && int(s.Core) != core {
+				continue
+			}
+			if err := wr.Emit(s); err != nil {
+				return wr.Total(), spliced, err
+			}
+		}
+	}
+	return wr.Total(), spliced, wr.Close()
+}

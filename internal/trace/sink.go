@@ -38,11 +38,20 @@ type Sink interface {
 // order. Close closes every sink and returns the first error.
 type Tee struct {
 	sinks []Sink
+	// batch mirrors sinks through ToBatch, so EmitBatch fans a batch
+	// out natively instead of degrading to per-sample dispatch.
+	batch []BatchSink
 }
 
 // NewTee builds a fan-out sink. A single-element tee adds one pointer
 // hop; callers with exactly one sink should use it directly.
-func NewTee(sinks ...Sink) *Tee { return &Tee{sinks: sinks} }
+func NewTee(sinks ...Sink) *Tee {
+	t := &Tee{sinks: sinks, batch: make([]BatchSink, len(sinks))}
+	for i, sk := range sinks {
+		t.batch[i] = ToBatch(sk)
+	}
+	return t
+}
 
 // Emit pushes the sample to every sink, stopping at the first error.
 func (t *Tee) Emit(s *Sample) error {
@@ -102,9 +111,10 @@ func (c *Collect) Close() error { return nil }
 // same checksum Trace.MD5 computes over a materialized trace, without
 // retaining any sample.
 type Hash struct {
-	h   hash.Hash
-	buf [sampleWireSize]byte
-	n   uint64
+	h       hash.Hash
+	buf     [sampleWireSize]byte
+	n       uint64
+	scratch []byte // batch encode buffer, grown on demand
 }
 
 // NewHash builds a rolling-checksum sink.
@@ -138,24 +148,29 @@ type CountHist struct {
 	names []string
 	by    []uint64
 	other uint64
-	sel   func(*Sample) int16
+	// kernel selects the kernel index instead of the region index — a
+	// field rather than a selector closure so the batch path hoists the
+	// choice out of the per-sample loop.
+	kernel bool
 }
 
 // NewRegionHist counts by region index.
 func NewRegionHist(meta Meta) *CountHist {
-	return &CountHist{names: meta.Regions, by: make([]uint64, len(meta.Regions)),
-		sel: func(s *Sample) int16 { return s.Region }}
+	return &CountHist{names: meta.Regions, by: make([]uint64, len(meta.Regions))}
 }
 
 // NewKernelHist counts by kernel (tagged phase) index.
 func NewKernelHist(meta Meta) *CountHist {
 	return &CountHist{names: meta.Kernels, by: make([]uint64, len(meta.Kernels)),
-		sel: func(s *Sample) int16 { return s.Kernel }}
+		kernel: true}
 }
 
 // Emit counts the sample.
 func (c *CountHist) Emit(s *Sample) error {
-	idx := c.sel(s)
+	idx := s.Region
+	if c.kernel {
+		idx = s.Kernel
+	}
 	if idx < 0 || int(idx) >= len(c.by) {
 		c.other++
 		return nil

@@ -1,0 +1,185 @@
+// Snappy-style block codec for v2.1 trace blocks: the classic snappy
+// block layout (uvarint decoded length, then literal / copy tags) with
+// a greedy hash-table matcher on the encode side. Self-contained on
+// purpose — the trace tier takes no dependency for its wire format —
+// and byte-oriented rather than entropy-coded, so both directions run
+// at memcpy-like speed on the 36-byte sample records, whose repeating
+// high bytes (timestamps, VAs, zero pads) are exactly what an LZ copy
+// window compresses well.
+//
+// Tag encoding (low 2 bits of the tag byte):
+//
+//	00 literal: length-1 in the upper 6 bits; 60..63 select 1..4
+//	   little-endian extra length bytes instead
+//	01 copy, 1-byte offset: length 4..11 in bits 2..4, offset 11 bits
+//	   (high 3 in bits 5..7, low 8 in the next byte)
+//	10 copy, 2-byte offset: length 1..64 in the upper 6 bits, offset
+//	   u16 LE
+//	11 copy, 4-byte offset: as 10 with offset u32 LE (decoded for
+//	   compatibility; the encoder never emits it)
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errCorrupt reports a malformed compressed block frame; the reader
+// wraps it into ErrBadTrace with block context.
+var errCorrupt = errors.New("corrupt compressed block")
+
+const (
+	snapTagLiteral = 0x00
+	snapTagCopy1   = 0x01
+	snapTagCopy2   = 0x02
+
+	// snapMaxOffset is the copy2 reach; the encoder emits no match
+	// farther back (copy4 stays decode-only).
+	snapMaxOffset = 1 << 16
+
+	snapHashBits = 14
+)
+
+func snapHash(x uint32) uint32 {
+	return (x * 0x1e35a7bd) >> (32 - snapHashBits)
+}
+
+// snapEncode appends the compressed frame of src to dst and returns
+// the extended slice. The frame decodes back to exactly src.
+func snapEncode(dst, src []byte) []byte {
+	var pre [binary.MaxVarintLen64]byte
+	dst = append(dst, pre[:binary.PutUvarint(pre[:], uint64(len(src)))]...)
+	const minMatch = 4
+	var table [1 << snapHashBits]int32 // position+1; 0 = empty
+	s, lit := 0, 0
+	for s+minMatch <= len(src) {
+		cur := binary.LittleEndian.Uint32(src[s:])
+		h := snapHash(cur)
+		cand := int(table[h]) - 1
+		table[h] = int32(s + 1)
+		if cand < 0 || s-cand >= snapMaxOffset ||
+			binary.LittleEndian.Uint32(src[cand:]) != cur {
+			s++
+			continue
+		}
+		dst = snapEmitLiteral(dst, src[lit:s])
+		length := minMatch
+		for s+length < len(src) && src[cand+length] == src[s+length] {
+			length++
+		}
+		dst = snapEmitCopy(dst, s-cand, length)
+		s += length
+		lit = s
+	}
+	return snapEmitLiteral(dst, src[lit:])
+}
+
+func snapEmitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		switch {
+		case n < 61:
+			dst = append(dst, uint8(n-1)<<2|snapTagLiteral)
+		case n <= 1<<8:
+			dst = append(dst, 60<<2|snapTagLiteral, uint8(n-1))
+		default:
+			dst = append(dst, 61<<2|snapTagLiteral, uint8(n-1), uint8((n-1)>>8))
+		}
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+func snapEmitCopy(dst []byte, offset, length int) []byte {
+	for length > 0 {
+		if length >= 4 && length <= 11 && offset < 1<<11 {
+			return append(dst,
+				uint8(offset>>8)<<5|uint8(length-4)<<2|snapTagCopy1,
+				uint8(offset))
+		}
+		n := length
+		if n > 64 {
+			n = 64
+		}
+		dst = append(dst, uint8(n-1)<<2|snapTagCopy2, uint8(offset), uint8(offset>>8))
+		length -= n
+	}
+	return dst
+}
+
+// snapDecode decompresses a frame into dst, which must be sized to the
+// expected decoded length (the caller knows it from the block's sample
+// count — a frame whose preamble disagrees is corrupt). It never reads
+// or writes out of bounds and never panics on malformed input.
+func snapDecode(dst, src []byte) error {
+	dlen, n := binary.Uvarint(src)
+	if n <= 0 || dlen != uint64(len(dst)) {
+		return errCorrupt
+	}
+	d, s := 0, n
+	for s < len(src) {
+		tag := src[s]
+		var length, offset int
+		switch tag & 3 {
+		case snapTagLiteral:
+			x := int(tag >> 2)
+			s++
+			if x >= 60 {
+				extra := x - 59 // 1..4 little-endian length bytes
+				if s+extra > len(src) {
+					return errCorrupt
+				}
+				x = 0
+				for i := extra - 1; i >= 0; i-- {
+					x = x<<8 | int(src[s+i])
+				}
+				s += extra
+			}
+			length = x + 1
+			if s+length > len(src) || d+length > len(dst) {
+				return errCorrupt
+			}
+			copy(dst[d:], src[s:s+length])
+			d += length
+			s += length
+			continue
+		case snapTagCopy1:
+			if s+2 > len(src) {
+				return errCorrupt
+			}
+			length = 4 + int(tag>>2)&7
+			offset = int(tag&0xe0)<<3 | int(src[s+1])
+			s += 2
+		case snapTagCopy2:
+			if s+3 > len(src) {
+				return errCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint16(src[s+1:]))
+			s += 3
+		default: // copy, 4-byte offset
+			if s+5 > len(src) {
+				return errCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint32(src[s+1:]))
+			s += 5
+		}
+		if offset <= 0 || offset > d || d+length > len(dst) {
+			return errCorrupt
+		}
+		// Byte loop: copies may overlap (offset < length replicates).
+		for i := 0; i < length; i++ {
+			dst[d] = dst[d-offset]
+			d++
+		}
+	}
+	if d != len(dst) {
+		return errCorrupt
+	}
+	return nil
+}

@@ -199,11 +199,12 @@ const (
 	sampleWireSize = 8 + 8 + 8 + 2 + 2 + 2 + 2 + 1 + 1 + 2 // padded to 36
 )
 
-// MagicV1 and MagicV2 are the leading magics of the two binary trace
-// formats, exported so tools can sniff a file's format.
+// MagicV1, MagicV2 and MagicV21 are the leading magics of the binary
+// trace formats, exported so tools can sniff a file's format.
 const (
-	MagicV1 uint32 = traceMagic
-	MagicV2 uint32 = traceMagicV2
+	MagicV1  uint32 = traceMagic
+	MagicV2  uint32 = traceMagicV2
+	MagicV21 uint32 = traceMagicV21
 )
 
 func encodeSample(dst []byte, s *Sample) {

@@ -24,6 +24,17 @@
 // coreMask sets bit (core mod 64): on machines with more than 64
 // cores the mask aliases, which can only retain a block that pure
 // core filtering could have skipped — never skip one that matches.
+//
+// Format v2.1 ("NM21"/"FM21" magics) is v2 with optional per-block
+// compression: a block may be stored as a snappy-style compressed
+// frame (snappy.go) instead of raw records, with the frame's byte size
+// carried in the index entry's formerly-reserved pad field (csize u32;
+// 0 = stored raw, which also keeps every v2 file bit-identical). The
+// index, tail, and — critically — the rolling MD5 are unchanged: the
+// checksum stays defined over the *uncompressed* sample stream, so a
+// v2.1 file's MD5 equals its v2 counterpart's and every existing
+// golden still holds. Block skip under ScanHints now skips both the
+// decode and the decompress of ruled-out blocks.
 package trace
 
 import (
@@ -37,6 +48,9 @@ import (
 const (
 	traceMagicV2  = 0x324F4D4E // "NMO2"
 	footerMagicV2 = 0x324F4D46 // "FMO2"
+
+	traceMagicV21  = 0x31324D4E // "NM21"
+	footerMagicV21 = 0x31324D46 // "FM21"
 
 	blockIndexEntrySize = 40
 	footerTailSize      = 48
@@ -63,6 +77,19 @@ type BlockInfo struct {
 	TimeMax uint64
 	// CoreMask ORs CoreBit over the block's samples.
 	CoreMask uint64
+	// CSize is the stored byte size of the block's compressed frame;
+	// 0 means the block is stored as raw records (Count × 36 bytes).
+	// Always 0 in v2 files (the slot is the v2 index entry's reserved
+	// pad field).
+	CSize uint32
+}
+
+// storedSize returns the block's on-disk byte size.
+func (b BlockInfo) storedSize() uint64 {
+	if b.CSize > 0 {
+		return uint64(b.CSize)
+	}
+	return uint64(b.Count) * sampleWireSize
 }
 
 // CoreBit returns the core's bit in a BlockInfo/ScanHints core mask
@@ -85,11 +112,28 @@ type WriterV2 struct {
 	h            hash.Hash
 	total        uint64
 	closed       bool
+	// compress selects the v2.1 format: flushBlock stores each block
+	// as a compressed frame when that is strictly smaller. The rolling
+	// hash is fed the raw records either way.
+	compress bool
+	cbuf     []byte // reusable compression scratch
 }
 
 // NewWriterV2 starts a v2 stream on w, writing the header immediately.
 // blockSamples <= 0 uses DefaultBlockSamples.
 func NewWriterV2(w io.Writer, meta Meta, blockSamples int) (*WriterV2, error) {
+	return newWriterV2(w, meta, blockSamples, false)
+}
+
+// NewWriterV21 starts a v2.1 stream: the v2 layout with per-block
+// compression. The sample stream, index semantics, and rolling MD5 are
+// identical to a v2 stream over the same samples — only the block
+// payload bytes are packed differently.
+func NewWriterV21(w io.Writer, meta Meta, blockSamples int) (*WriterV2, error) {
+	return newWriterV2(w, meta, blockSamples, true)
+}
+
+func newWriterV2(w io.Writer, meta Meta, blockSamples int, compress bool) (*WriterV2, error) {
 	if blockSamples <= 0 {
 		blockSamples = DefaultBlockSamples
 	}
@@ -101,9 +145,14 @@ func NewWriterV2(w io.Writer, meta Meta, blockSamples int) (*WriterV2, error) {
 		blockSamples: blockSamples,
 		buf:          make([]byte, 0, blockSamples*sampleWireSize),
 		h:            md5.New(),
+		compress:     compress,
+	}
+	magic := uint32(traceMagicV2)
+	if compress {
+		magic = traceMagicV21
 	}
 	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[0:], traceMagicV2)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockSamples))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(meta.Regions)))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(meta.Kernels)))
@@ -173,16 +222,98 @@ func (wr *WriterV2) Emit(s *Sample) error {
 	return nil
 }
 
+// EmitBatch appends a batch of samples, encoding directly into the
+// block buffer with one bulk hash write per contained block span —
+// the native batch path of the sink chain. The produced bytes are
+// identical to per-sample Emit over the same stream (the rolling MD5
+// is over a concatenation, which is invariant to write boundaries).
+func (wr *WriterV2) EmitBatch(batch []Sample) error {
+	if wr.closed {
+		return fmt.Errorf("trace: emit after Close")
+	}
+	for len(batch) > 0 {
+		if wr.n == 0 {
+			wr.cur = BlockInfo{Offset: wr.off, TimeMin: batch[0].TimeNs, TimeMax: batch[0].TimeNs}
+		}
+		take := wr.blockSamples - wr.n
+		if take > len(batch) {
+			take = len(batch)
+		}
+		start := len(wr.buf)
+		wr.buf = wr.buf[:start+take*sampleWireSize]
+		for i := 0; i < take; i++ {
+			s := &batch[i]
+			if s.TimeNs < wr.cur.TimeMin {
+				wr.cur.TimeMin = s.TimeNs
+			}
+			if s.TimeNs > wr.cur.TimeMax {
+				wr.cur.TimeMax = s.TimeNs
+			}
+			wr.cur.CoreMask |= CoreBit(s.Core)
+			encodeSample(wr.buf[start+i*sampleWireSize:], s)
+		}
+		wr.h.Write(wr.buf[start:])
+		wr.cur.Count += uint32(take)
+		wr.n += take
+		wr.total += uint64(take)
+		batch = batch[take:]
+		if wr.n == wr.blockSamples {
+			if err := wr.flushBlock(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (wr *WriterV2) flushBlock() error {
 	if wr.n == 0 {
 		return nil
 	}
-	if err := wr.write(wr.buf); err != nil {
+	out := wr.buf
+	if wr.compress {
+		// Store the compressed frame only when it wins; incompressible
+		// blocks stay raw (CSize 0), so compression never inflates.
+		wr.cbuf = snapEncode(wr.cbuf[:0], wr.buf)
+		if len(wr.cbuf) < len(wr.buf) {
+			out = wr.cbuf
+			wr.cur.CSize = uint32(len(wr.cbuf))
+		}
+	}
+	if err := wr.write(out); err != nil {
 		return err
 	}
 	wr.index = append(wr.index, wr.cur)
 	wr.buf = wr.buf[:0]
 	wr.n = 0
+	return nil
+}
+
+// spliceBlock appends one stored block verbatim: stored is the block's
+// on-disk bytes (compressed frame or raw records, matching the
+// writer's mode), payload the uncompressed records the rolling hash is
+// defined over. The caller must flush any partial block first; the
+// restream splice path is the only user.
+func (wr *WriterV2) spliceBlock(info BlockInfo, stored, payload []byte) error {
+	switch {
+	case wr.closed:
+		return fmt.Errorf("trace: emit after Close")
+	case wr.n != 0:
+		return fmt.Errorf("trace: splice into a partial block")
+	case int(info.Count) > wr.blockSamples:
+		return fmt.Errorf("trace: spliced block count %d exceeds block size %d",
+			info.Count, wr.blockSamples)
+	case info.CSize > 0 && !wr.compress:
+		return fmt.Errorf("trace: compressed splice into an uncompressed stream")
+	}
+	b := info
+	b.Offset = wr.off
+	if err := wr.write(stored); err != nil {
+		return err
+	}
+	wr.h.Write(payload)
+	wr.index = append(wr.index, b)
+	wr.total += uint64(info.Count)
 	return nil
 }
 
@@ -201,7 +332,7 @@ func (wr *WriterV2) Close() error {
 	for _, b := range wr.index {
 		binary.LittleEndian.PutUint64(ent[0:], b.Offset)
 		binary.LittleEndian.PutUint32(ent[8:], b.Count)
-		binary.LittleEndian.PutUint32(ent[12:], 0)
+		binary.LittleEndian.PutUint32(ent[12:], b.CSize)
 		binary.LittleEndian.PutUint64(ent[16:], b.TimeMin)
 		binary.LittleEndian.PutUint64(ent[24:], b.TimeMax)
 		binary.LittleEndian.PutUint64(ent[32:], b.CoreMask)
@@ -217,7 +348,11 @@ func (wr *WriterV2) Close() error {
 	sum := wr.h.Sum(nil)
 	copy(tail[24:40], sum)
 	binary.LittleEndian.PutUint32(tail[40:], 0)
-	binary.LittleEndian.PutUint32(tail[44:], footerMagicV2)
+	fm := uint32(footerMagicV2)
+	if wr.compress {
+		fm = footerMagicV21
+	}
+	binary.LittleEndian.PutUint32(tail[44:], fm)
 	return wr.write(tail[:])
 }
 
@@ -244,7 +379,9 @@ type ReaderV2 struct {
 	total        uint64
 	sum          [16]byte
 	read, skip   uint64
-	raw          []byte // reusable block read buffer
+	compressed   bool   // v2.1 file (per-block compression enabled)
+	raw          []byte // reusable decompressed-payload buffer
+	craw         []byte // reusable stored-bytes read buffer
 }
 
 // OpenV2 validates the file's header and footer and loads the block
@@ -264,10 +401,15 @@ func OpenV2(r io.ReadSeeker) (*ReaderV2, error) {
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
 		return nil, fmt.Errorf("%w: v2 tail: %v", ErrBadTrace, err)
 	}
-	if binary.LittleEndian.Uint32(tail[44:]) != footerMagicV2 {
+	var compressed bool
+	switch binary.LittleEndian.Uint32(tail[44:]) {
+	case footerMagicV2:
+	case footerMagicV21:
+		compressed = true
+	default:
 		return nil, fmt.Errorf("%w: v2 bad footer magic", ErrBadTrace)
 	}
-	rd := &ReaderV2{r: r, total: binary.LittleEndian.Uint64(tail[8:])}
+	rd := &ReaderV2{r: r, total: binary.LittleEndian.Uint64(tail[8:]), compressed: compressed}
 	indexOff := binary.LittleEndian.Uint64(tail[0:])
 	nBlocks := binary.LittleEndian.Uint32(tail[16:])
 	rd.blockSamples = int(binary.LittleEndian.Uint32(tail[20:]))
@@ -292,6 +434,7 @@ func OpenV2(r io.ReadSeeker) (*ReaderV2, error) {
 		b := BlockInfo{
 			Offset:   binary.LittleEndian.Uint64(ent[0:]),
 			Count:    binary.LittleEndian.Uint32(ent[8:]),
+			CSize:    binary.LittleEndian.Uint32(ent[12:]),
 			TimeMin:  binary.LittleEndian.Uint64(ent[16:]),
 			TimeMax:  binary.LittleEndian.Uint64(ent[24:]),
 			CoreMask: binary.LittleEndian.Uint64(ent[32:]),
@@ -302,10 +445,21 @@ func OpenV2(r io.ReadSeeker) (*ReaderV2, error) {
 		if b.TimeMin > b.TimeMax {
 			return nil, fmt.Errorf("%w: v2 block %d time range inverted", ErrBadTrace, i)
 		}
-		if b.Offset+uint64(b.Count)*sampleWireSize > indexOff {
+		if b.CSize != 0 {
+			if !rd.compressed {
+				return nil, fmt.Errorf("%w: v2 block %d has a nonzero reserved field", ErrBadTrace, i)
+			}
+			// Compressed frames are stored only when strictly smaller
+			// than the raw records; a footer claiming otherwise lies.
+			if uint64(b.CSize) >= uint64(b.Count)*sampleWireSize {
+				return nil, fmt.Errorf("%w: v2.1 block %d compressed size %d not smaller than %d raw bytes",
+					ErrBadTrace, i, b.CSize, uint64(b.Count)*sampleWireSize)
+			}
+		}
+		if b.Offset+b.storedSize() > indexOff {
 			return nil, fmt.Errorf("%w: v2 block %d overruns the index", ErrBadTrace, i)
 		}
-		if i > 0 && b.Offset < rd.index[i-1].Offset+uint64(rd.index[i-1].Count)*sampleWireSize {
+		if i > 0 && b.Offset < rd.index[i-1].Offset+rd.index[i-1].storedSize() {
 			return nil, fmt.Errorf("%w: v2 block %d overlaps block %d", ErrBadTrace, i, i-1)
 		}
 		rd.index[i] = b
@@ -323,7 +477,11 @@ func OpenV2(r io.ReadSeeker) (*ReaderV2, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: v2 header: %v", ErrBadTrace, err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagicV2 {
+	wantMagic := uint32(traceMagicV2)
+	if rd.compressed {
+		wantMagic = traceMagicV21
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != wantMagic {
 		return nil, fmt.Errorf("%w: v2 bad magic", ErrBadTrace)
 	}
 	if int(binary.LittleEndian.Uint32(hdr[4:])) != rd.blockSamples {
@@ -369,26 +527,55 @@ func (rd *ReaderV2) NumBlocks() int { return len(rd.index) }
 // Block returns the index entry of block i.
 func (rd *ReaderV2) Block(i int) BlockInfo { return rd.index[i] }
 
+// readStoredBlock reads block i's stored bytes and returns them along
+// with the uncompressed record payload (equal slices for raw blocks;
+// v2.1 compressed frames are decoded into a reusable buffer). Both
+// returned slices alias reader-owned buffers valid until the next
+// read.
+func (rd *ReaderV2) readStoredBlock(i int) (stored, payload []byte, err error) {
+	b := rd.index[i]
+	ns := int(b.storedSize())
+	if cap(rd.craw) < ns {
+		rd.craw = make([]byte, ns)
+	}
+	stored = rd.craw[:ns]
+	if _, err := rd.r.Seek(int64(b.Offset), io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("%w: v2 seek block %d: %v", ErrBadTrace, i, err)
+	}
+	if _, err := io.ReadFull(rd.r, stored); err != nil {
+		return nil, nil, fmt.Errorf("%w: v2 block %d: %v", ErrBadTrace, i, err)
+	}
+	if b.CSize == 0 {
+		return stored, stored, nil
+	}
+	raw := int(b.Count) * sampleWireSize
+	if cap(rd.raw) < raw {
+		rd.raw = make([]byte, raw)
+	}
+	payload = rd.raw[:raw]
+	if err := snapDecode(payload, stored); err != nil {
+		return nil, nil, fmt.Errorf("%w: v2.1 block %d: %v", ErrBadTrace, i, err)
+	}
+	return stored, payload, nil
+}
+
 // ReadBlock decodes block i into dst (grown as needed) and returns the
 // decoded slice. dst may be reused across calls to bound allocation.
+// Compressed blocks are decompressed through a reusable buffer — a
+// block that ScanHints rule out costs neither decode nor decompress,
+// because Scan never calls this for it.
 func (rd *ReaderV2) ReadBlock(i int, dst []Sample) ([]Sample, error) {
 	b := rd.index[i]
-	if cap(rd.raw) < int(b.Count)*sampleWireSize {
-		rd.raw = make([]byte, int(b.Count)*sampleWireSize)
-	}
-	raw := rd.raw[:int(b.Count)*sampleWireSize]
-	if _, err := rd.r.Seek(int64(b.Offset), io.SeekStart); err != nil {
-		return nil, fmt.Errorf("%w: v2 seek block %d: %v", ErrBadTrace, i, err)
-	}
-	if _, err := io.ReadFull(rd.r, raw); err != nil {
-		return nil, fmt.Errorf("%w: v2 block %d: %v", ErrBadTrace, i, err)
+	_, payload, err := rd.readStoredBlock(i)
+	if err != nil {
+		return nil, err
 	}
 	if cap(dst) < int(b.Count) {
 		dst = make([]Sample, b.Count)
 	}
 	dst = dst[:b.Count]
 	for j := range dst {
-		decodeSample(raw[j*sampleWireSize:], &dst[j])
+		decodeSample(payload[j*sampleWireSize:], &dst[j])
 	}
 	return dst, nil
 }
@@ -417,8 +604,26 @@ func (rd *ReaderV2) Scan(h ScanHints, fn func(*Sample)) error {
 }
 
 // ScanStats returns the cumulative blocks read and skipped across all
-// Scan calls — the observable effect of predicate push-down.
+// Scan calls — the observable effect of predicate push-down. On a
+// compressed (v2.1) file every skipped block also skipped its
+// decompression.
 func (rd *ReaderV2) ScanStats() (read, skipped uint64) { return rd.read, rd.skip }
+
+// Compressed reports whether the file is v2.1 with per-block
+// compression enabled at write time.
+func (rd *ReaderV2) Compressed() bool { return rd.compressed }
+
+// PayloadSizes sums the block index: stored is the on-disk byte size
+// of all blocks (compressed frames at their frame size), raw the
+// uncompressed record payload they decode to. raw/stored is the file's
+// block-compression ratio; the two are equal for v2 files.
+func (rd *ReaderV2) PayloadSizes() (stored, raw uint64) {
+	for _, b := range rd.index {
+		stored += b.storedSize()
+		raw += uint64(b.Count) * sampleWireSize
+	}
+	return stored, raw
+}
 
 // ReadAll materializes the whole file into an in-memory Trace (the v1
 // object model). Intended for tooling and tests; out-of-core consumers

@@ -119,6 +119,12 @@ func NewTraceWriterV2(w io.Writer, meta TraceMeta, blockSamples int) (*TraceWrit
 	return trace.NewWriterV2(w, meta, blockSamples)
 }
 
+// NewTraceWriterV21 starts a streamed v2.1 trace: the v2 layout with
+// per-block compression, identical sample stream and rolling MD5.
+func NewTraceWriterV21(w io.Writer, meta TraceMeta, blockSamples int) (*TraceWriterV2, error) {
+	return trace.NewWriterV21(w, meta, blockSamples)
+}
+
 // ReadTraceBinary deserializes a v1 trace written by Trace.WriteBinary.
 func ReadTraceBinary(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
 
