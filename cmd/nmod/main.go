@@ -5,7 +5,7 @@
 // -remote and nmostat -remote speak this API — and is the service
 // layer the ROADMAP's many-users north star needs.
 //
-//	nmod -addr :8077 -workers 4 -engine-jobs 2 -cache 512
+//	nmod -addr :8077 -workers 4 -engine-jobs 2 -cache-dir nmo-cache
 //
 //	# submit a sweep
 //	curl -s localhost:8077/v1/jobs -d '{
@@ -23,6 +23,12 @@
 // shape — are answered from the cache without re-simulating; the
 // simulator's determinism makes the cached bytes exactly what a fresh
 // run would produce.
+//
+// The cache is two-tier: -cache-mem-mib bounds the in-memory hot set
+// and, when -cache-dir (or NMO_CACHE_DIR) names a spill directory,
+// -cache-disk-mib bounds an on-disk tier of verified v2/v2.1 files
+// that survives restarts — a daemon restarted on its spill directory
+// answers previously computed jobs without re-simulating.
 package main
 
 import (
@@ -44,17 +50,25 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrently running jobs")
 	queueCap := flag.Int("queue", 64, "max queued jobs (submissions beyond it get 429)")
 	engineJobs := flag.Int("engine-jobs", 1, "engine worker-pool size per job (results identical at any value)")
-	cacheCap := flag.Int("cache", 256, "max cached job results")
+	cacheDir := flag.String("cache-dir", os.Getenv("NMO_CACHE_DIR"),
+		"cache spill directory; restart-surviving disk tier (default $NMO_CACHE_DIR; empty = memory-only)")
+	cacheMemMiB := flag.Int("cache-mem-mib", 256, "in-memory cache tier budget, MiB")
+	cacheDiskMiB := flag.Int("cache-disk-mib", 4096, "on-disk cache tier budget, MiB (needs -cache-dir)")
 	backendSlots := flag.Int("backend-slots", 0, "max running jobs per sampling backend (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueCap, *engineJobs, *cacheCap, *backendSlots); err != nil {
+	ccfg := service.CacheConfig{
+		Dir:        *cacheDir,
+		MemBudget:  int64(*cacheMemMiB) << 20,
+		DiskBudget: int64(*cacheDiskMiB) << 20,
+	}
+	if err := run(*addr, *workers, *queueCap, *engineJobs, *backendSlots, ccfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap, engineJobs, cacheCap, backendSlots int) error {
+func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg service.CacheConfig) error {
 	cfg := service.SchedConfig{
 		Workers:    workers,
 		QueueCap:   queueCap,
@@ -66,7 +80,11 @@ func run(addr string, workers, queueCap, engineJobs, cacheCap, backendSlots int)
 			cfg.BackendSlots[k] = backendSlots
 		}
 	}
-	sched := service.NewScheduler(cfg, service.NewCache(cacheCap))
+	cache, err := service.NewCache(ccfg)
+	if err != nil {
+		return fmt.Errorf("cache dir %s: %w", ccfg.Dir, err)
+	}
+	sched := service.NewScheduler(cfg, cache)
 	defer sched.Close()
 
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(sched)}
@@ -77,8 +95,12 @@ func run(addr string, workers, queueCap, engineJobs, cacheCap, backendSlots int)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("nmod: listening on %s (%d workers, engine-jobs %d, queue %d, cache %d)\n",
-		addr, workers, engineJobs, queueCap, cacheCap)
+	tier := "memory-only"
+	if ccfg.Dir != "" {
+		tier = "spill dir " + ccfg.Dir
+	}
+	fmt.Printf("nmod: listening on %s (%d workers, engine-jobs %d, queue %d, cache %s)\n",
+		addr, workers, engineJobs, queueCap, tier)
 
 	select {
 	case err := <-errc:

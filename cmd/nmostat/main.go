@@ -67,6 +67,10 @@ type options struct {
 	remote   string
 	job      string
 	scenario string
+
+	// Stats mode (-remote + -stats): render the daemon's (or, via a
+	// gateway, the fleet's summed) /v1/stats counters.
+	stats bool
 }
 
 func main() {
@@ -85,6 +89,7 @@ func main() {
 	flag.StringVar(&o.remote, "remote", "", "inspect a trace served by an nmod daemon at this address (with -job)")
 	flag.StringVar(&o.job, "job", "", "remote mode: job ID to inspect")
 	flag.StringVar(&o.scenario, "scenario", "", "remote mode: scenario name or index (default: the first)")
+	flag.BoolVar(&o.stats, "stats", false, "remote mode: print the daemon's scheduler/cache counters instead of a trace")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -94,6 +99,9 @@ func main() {
 }
 
 func run(out io.Writer, o options) error {
+	if o.remote != "" && o.stats {
+		return remoteStats(out, o)
+	}
 	if o.remote != "" {
 		return inspectRemote(out, o)
 	}
@@ -134,6 +142,35 @@ func run(out io.Writer, o options) error {
 	t.AddRow("cycles (wall)", uint64(prof.Wall))
 	t.AddRow("seconds (simulated)", fmt.Sprintf("%.6f", prof.WallSec))
 	t.AddRow("arithmetic intensity", fmt.Sprintf("%.4f flops/B", prof.ArithmeticIntensity()))
+	return t.Render(out)
+}
+
+// remoteStats fetches and renders a daemon's /v1/stats. Pointed at a
+// gateway, the same decode yields the fleet-summed counters (FleetStats
+// embeds SchedStats), so the cache tier occupancy and traffic rows are
+// fleet totals.
+func remoteStats(out io.Writer, o options) error {
+	st, err := service.NewClient(o.remote).Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("stats: %s", o.remote),
+		Headers: []string{"counter", "value"},
+	}
+	t.AddRow("submitted", st.Submitted)
+	t.AddRow("rejected", st.Rejected)
+	t.AddRow("engine runs", st.EngineRuns)
+	t.AddRow("cache hits", st.CacheHits)
+	t.AddRow("coalesced", st.Coalesced)
+	t.AddRow("cache entries", st.CacheEntries)
+	t.AddRow("cache evictions", st.CacheEvictions)
+	t.AddRow("cache bytes (mem)", st.CacheBytesMem)
+	t.AddRow("cache bytes (disk)", st.CacheBytesDisk)
+	t.AddRow("cache demotions", st.CacheDemotions)
+	t.AddRow("cache promotions", st.CachePromotions)
+	t.AddRow("queued", st.Queued)
+	t.AddRow("running", st.Running)
 	return t.Render(out)
 }
 

@@ -192,7 +192,7 @@ func TestStatDeterministicAcrossRuns(t *testing.T) {
 // filters pushed down to the daemon) and its tables must match an
 // inspection of the byte-identical local file.
 func TestRemoteInspect(t *testing.T) {
-	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, service.NewCache(0))
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, nil)
 	defer sched.Close()
 	srv := httptest.NewServer(service.NewServer(sched))
 	defer srv.Close()
@@ -260,5 +260,49 @@ func TestRemoteInspect(t *testing.T) {
 	}
 	if !strings.Contains(filtered.String(), "server-side filtered restream") {
 		t.Errorf("filtered fetch not announced:\n%s", filtered.String())
+	}
+}
+
+// TestRemoteStats drives the -stats mode: the rendered table must
+// carry the daemon's scheduler counters, including the two-tier cache
+// gauges added for the spill store.
+func TestRemoteStats(t *testing.T) {
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, nil)
+	defer sched.Close()
+	srv := httptest.NewServer(service.NewServer(sched))
+	defer srv.Close()
+
+	client := service.NewClient(srv.URL)
+	ctx := context.Background()
+	info, err := client.Submit(ctx, service.JobSpec{Scenarios: []service.ScenarioSpec{{
+		Workload: "stream", Threads: 2, Elems: 10_000, Iters: 1, Cores: 4, Seed: 42, Period: 700,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, info.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(&buf, options{remote: srv.URL, stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"submitted", "engine runs", "cache bytes (mem)", "cache bytes (disk)",
+		"cache demotions", "cache promotions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	squeezed := strings.Join(strings.Fields(out), " ")
+	if !strings.Contains(squeezed, "submitted 1") || !strings.Contains(squeezed, "engine runs 1") {
+		t.Errorf("stats counters wrong:\n%s", out)
+	}
+	// One finished sampling job lives in the memory tier.
+	if !strings.Contains(squeezed, "cache entries 1") {
+		t.Errorf("cache entries not reported:\n%s", out)
 	}
 }

@@ -54,7 +54,7 @@ func BenchmarkGatewayOverhead(b *testing.B) {
 	}
 
 	b.Run("direct", func(b *testing.B) {
-		sched := service.NewScheduler(service.SchedConfig{Workers: 2}, service.NewCache(0))
+		sched := service.NewScheduler(service.SchedConfig{Workers: 2}, nil)
 		defer sched.Close()
 		srv := httptest.NewServer(service.NewServer(sched))
 		defer srv.Close()
@@ -63,7 +63,7 @@ func BenchmarkGatewayOverhead(b *testing.B) {
 	b.Run("proxied", func(b *testing.B) {
 		members := make([]string, 2)
 		for i := range members {
-			sched := service.NewScheduler(service.SchedConfig{Workers: 2}, service.NewCache(0))
+			sched := service.NewScheduler(service.SchedConfig{Workers: 2}, nil)
 			defer sched.Close()
 			srv := httptest.NewServer(service.NewServer(sched))
 			defer srv.Close()

@@ -417,11 +417,15 @@ func (f flushWriter) Write(p []byte) (int, error) {
 }
 
 // copyResponse relays a member response: relevant headers, status,
-// then the body through a pooled copy buffer — flushed chunk-by-chunk
-// when fl is set so trace streams stay incremental through the
-// gateway. Content-Length passes through (the shard sets it on
-// unfiltered trace blobs), so byte-for-byte delivery is preserved
-// tier to tier.
+// then the body. Sized responses — the shard sets Content-Length on
+// unfiltered trace blobs — pass straight through io.Copy with no
+// pooled buffer and no per-chunk flushing: net/http's ResponseWriter
+// is an io.ReaderFrom, so the relay is a single ReadFrom loop that
+// stays splice-eligible shard→gateway→client and preserves the exact
+// byte count end to end. Unsized (chunked) responses — filtered
+// restreams — go through the pooled copy buffer, flushed
+// chunk-by-chunk when fl is set so trace streams stay incremental
+// through the gateway.
 func copyResponse(w http.ResponseWriter, resp *http.Response, fl http.Flusher) {
 	for _, h := range []string{"Content-Type", "Content-Length", "X-Nmo-Trace-Md5"} {
 		if v := resp.Header.Get(h); v != "" {
@@ -429,6 +433,10 @@ func copyResponse(w http.ResponseWriter, resp *http.Response, fl http.Flusher) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
+	if resp.ContentLength >= 0 {
+		io.Copy(w, resp.Body) // error means the client went away
+		return
+	}
 	bufp := copyBufPool.Get().(*[]byte)
 	defer copyBufPool.Put(bufp)
 	var dst io.Writer = w
@@ -494,6 +502,10 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		fleet.Coalesced += st.Coalesced
 		fleet.CacheEntries += st.CacheEntries
 		fleet.CacheEvictions += st.CacheEvictions
+		fleet.CacheBytesMem += st.CacheBytesMem
+		fleet.CacheBytesDisk += st.CacheBytesDisk
+		fleet.CacheDemotions += st.CacheDemotions
+		fleet.CachePromotions += st.CachePromotions
 		fleet.Queued += st.Queued
 		fleet.Running += st.Running
 	}

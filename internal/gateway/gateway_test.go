@@ -28,7 +28,7 @@ func newFleet(t *testing.T, n int) *fleet {
 	f := &fleet{}
 	members := make([]string, n)
 	for i := 0; i < n; i++ {
-		sched := service.NewScheduler(service.SchedConfig{Workers: 2}, service.NewCache(0))
+		sched := service.NewScheduler(service.SchedConfig{Workers: 2}, nil)
 		t.Cleanup(sched.Close)
 		srv := httptest.NewServer(service.NewServer(sched))
 		t.Cleanup(srv.Close)
@@ -177,15 +177,30 @@ func TestGatewayStatsMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wantSub, wantRuns uint64
+	var wantSub, wantRuns, wantDemote, wantPromote uint64
+	var wantMem, wantDisk int64
 	for _, s := range f.scheds {
 		st := s.Stats()
 		wantSub += st.Submitted
 		wantRuns += st.EngineRuns
+		wantMem += st.CacheBytesMem
+		wantDisk += st.CacheBytesDisk
+		wantDemote += st.CacheDemotions
+		wantPromote += st.CachePromotions
 	}
 	if agg.Submitted != wantSub || agg.EngineRuns != wantRuns {
 		t.Fatalf("aggregate stats = %d submitted / %d runs, want %d / %d",
 			agg.Submitted, agg.EngineRuns, wantSub, wantRuns)
+	}
+	// The cache tier columns sum across shards too — and the memory
+	// tier is demonstrably populated (every shard holds its blobs).
+	if agg.CacheBytesMem != wantMem || wantMem == 0 {
+		t.Errorf("aggregate cache_bytes_mem = %d, want the member sum %d (> 0)", agg.CacheBytesMem, wantMem)
+	}
+	if agg.CacheBytesDisk != wantDisk ||
+		agg.CacheDemotions != wantDemote || agg.CachePromotions != wantPromote {
+		t.Errorf("aggregate tier stats disk=%d demotions=%d promotions=%d, want %d/%d/%d",
+			agg.CacheBytesDisk, agg.CacheDemotions, agg.CachePromotions, wantDisk, wantDemote, wantPromote)
 	}
 	// …and the full body carries the per-member rows.
 	resp, err := http.Get(f.front.URL + "/v1/stats")
@@ -379,4 +394,65 @@ func mustShard(t *testing.T, f *fleet, id string) int {
 		t.Fatal(err)
 	}
 	return shard
+}
+
+// TestGatewayTracePassThrough: an unfiltered trace relayed through the
+// gateway keeps its identity-encoded, sized shape — Content-Length and
+// X-Nmo-Trace-Md5 from the shard, no chunking — even when the shard
+// serves the blob from its disk tier, and the bytes match the direct
+// fetch exactly. This pins the pass-through (non-rebuffered) proxy
+// path the shard→gateway→client zero-copy chain needs.
+func TestGatewayTracePassThrough(t *testing.T) {
+	cache, err := service.NewCache(service.CacheConfig{Dir: t.TempDir(), MemBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, cache)
+	t.Cleanup(sched.Close)
+	shard := httptest.NewServer(service.NewServer(sched))
+	t.Cleanup(shard.Close)
+	gw, err := New(Config{Members: []string{shard.URL}, ProbeEvery: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw)
+	t.Cleanup(front.Close)
+
+	info := submitWait(t, service.NewClient(front.URL), spec(77))
+	_, inner, err := gw.splitJobID(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok := sched.Get(inner)
+	if !ok {
+		t.Fatal("job vanished from the shard")
+	}
+	if !job.Artifacts().Traces[0].FileBacked() {
+		t.Fatal("blob not demoted; the test must exercise the disk tier")
+	}
+
+	resp, err := http.Get(front.URL + "/v1/jobs/" + info.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContentLength < 0 || len(resp.TransferEncoding) != 0 {
+		t.Errorf("gateway re-framed the sized response: CL=%d TE=%v",
+			resp.ContentLength, resp.TransferEncoding)
+	}
+	if resp.ContentLength != int64(body.Len()) {
+		t.Errorf("Content-Length %d != body %d bytes", resp.ContentLength, body.Len())
+	}
+	direct, md5Direct := fetchTrace(t, service.NewClient(shard.URL), inner, service.NewTraceOptions())
+	if got := resp.Header.Get("X-Nmo-Trace-Md5"); got != md5Direct {
+		t.Errorf("gateway X-Nmo-Trace-Md5 %q != shard's %q", got, md5Direct)
+	}
+	if !bytes.Equal(body.Bytes(), direct) {
+		t.Error("gateway-relayed bytes differ from the direct shard fetch")
+	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func benchSpec(seed uint64) JobSpec {
 // recorded in BENCH_*.json by CI.
 func BenchmarkServiceThroughput(b *testing.B) {
 	run := func(b *testing.B, spec func(i int) JobSpec) {
-		sched := NewScheduler(SchedConfig{Workers: 2, QueueCap: 1 << 16}, NewCache(1<<16))
+		sched := NewScheduler(SchedConfig{Workers: 2, QueueCap: 1 << 16}, nil)
 		defer sched.Close()
 		srv := httptest.NewServer(NewServer(sched))
 		defer srv.Close()
@@ -69,7 +70,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 // payload* delivered — the raw blob size — so the compressed number
 // directly shows what shipping fewer wire bytes buys.
 func BenchmarkServiceTraceStream(b *testing.B) {
-	sched := NewScheduler(SchedConfig{Workers: 1}, NewCache(0))
+	sched := NewScheduler(SchedConfig{Workers: 1}, nil)
 	defer sched.Close()
 	srv := httptest.NewServer(NewServer(sched))
 	defer srv.Close()
@@ -126,4 +127,131 @@ func BenchmarkServiceTraceStream(b *testing.B) {
 			b.ReportMetric(float64(bc.wire)/float64(rawBytes), "wire-ratio")
 		})
 	}
+}
+
+// BenchmarkTraceServeFile contrasts the two storage tiers on the
+// unfiltered /trace path: "memory" serves from the resident blob,
+// "file" serves a demoted blob straight from its spill file (the
+// sendfile-eligible path, which never stages the payload on the Go
+// heap). The file tier's win shows up in allocs/op and B/op.
+func BenchmarkTraceServeFile(b *testing.B) {
+	run := func(b *testing.B, cache *Cache, wantFile bool) {
+		sched := NewScheduler(SchedConfig{Workers: 1}, cache)
+		defer sched.Close()
+		srv := httptest.NewServer(NewServer(sched))
+		defer srv.Close()
+		client := NewClient(srv.URL)
+		ctx := context.Background()
+
+		spec := benchSpec(1)
+		spec.Scenarios[0].Elems = 200_000
+		spec.Scenarios[0].Iters = 4
+		spec.Scenarios[0].Period = 64
+		info, err := client.Submit(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Wait(ctx, info.ID, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		job, _ := sched.Get(info.ID)
+		blob := job.Artifacts().Traces[0]
+		if blob.FileBacked() != wantFile {
+			b.Fatalf("blob file-backed = %v, want %v", blob.FileBacked(), wantFile)
+		}
+
+		var buf bytes.Buffer
+		b.SetBytes(blob.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			n, _, err := client.DownloadTrace(ctx, info.ID, NewTraceOptions(), &buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != blob.Size() {
+				b.Fatalf("downloaded %d bytes, want %d", n, blob.Size())
+			}
+		}
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		run(b, nil, false)
+	})
+	b.Run("file", func(b *testing.B) {
+		// A one-byte memory budget demotes the blob to its spill file
+		// the moment it is filled.
+		cache, err := NewCache(CacheConfig{Dir: b.TempDir(), MemBudget: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cache, true)
+	})
+}
+
+// BenchmarkCacheWarmBoot measures the restart path: scanning a spill
+// directory, verifying every entry's rolling MD5 block by block, and
+// repopulating the index. The fixture fans one real trace blob out
+// under distinct content addresses, so the cost scales with entries
+// and verified payload bytes like a production spill dir.
+func BenchmarkCacheWarmBoot(b *testing.B) {
+	// One genuine engine run supplies valid v2 bytes + checksum.
+	seedSched := NewScheduler(SchedConfig{Workers: 1}, nil)
+	spec := benchSpec(1)
+	spec.Scenarios[0].Elems = 100_000
+	spec.Scenarios[0].Period = 128
+	job, err := seedSched.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-job.Done()
+	art := job.Artifacts()
+	data := blobBytesB(b, art.Traces[0])
+	sum := art.Traces[0].MD5
+	doc := art.Doc
+	seedSched.Close()
+
+	const entries = 32
+	dir := b.TempDir()
+	seed, err := NewCache(CacheConfig{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		key := fmt.Sprintf("%064x", i+1)
+		e, leader := seed.Acquire(key)
+		if !leader {
+			b.Fatal("duplicate key in warm-boot fixture")
+		}
+		seed.Fill(e, &JobArtifacts{Doc: doc, Traces: []*TraceBlob{
+			NewTraceBlob("s0", data, sum),
+		}})
+	}
+	if st := seed.Stats(); st.Entries != entries || st.BytesDisk == 0 {
+		b.Fatalf("fixture incomplete: %+v", st)
+	}
+
+	b.SetBytes(int64(entries) * int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCache(CacheConfig{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := c.Stats(); st.Entries != entries {
+			b.Fatalf("recovered %d entries, want %d", st.Entries, entries)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(entries)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+}
+
+// blobBytesB is the benchmark twin of blobBytes.
+func blobBytesB(b *testing.B, blob *TraceBlob) []byte {
+	b.Helper()
+	data, err := blob.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
 }

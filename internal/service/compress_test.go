@@ -12,7 +12,7 @@ import (
 
 // submitWait submits spec and blocks until it is done, returning the
 // job's first trace blob.
-func submitWait(t *testing.T, sched *Scheduler, client *Client, spec JobSpec) (string, TraceBlob) {
+func submitWait(t *testing.T, sched *Scheduler, client *Client, spec JobSpec) (string, *TraceBlob) {
 	t.Helper()
 	ctx := context.Background()
 	info, err := client.Submit(ctx, spec)
@@ -52,7 +52,7 @@ func TestHTTPTraceServeRegression(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(buf.Bytes(), blob.Data) {
+		if !bytes.Equal(buf.Bytes(), blobBytes(t, blob)) {
 			t.Errorf("compress=%t: served bytes differ from the stored blob", compress)
 		}
 		if n != blob.Size() {
@@ -118,12 +118,12 @@ func TestCompressedTraceJobsDeterminism(t *testing.T) {
 	spec := quickJob(58)
 	spec.Scenarios[0].Compress = true
 
-	var blobs [2]TraceBlob
+	var blobs [2]*TraceBlob
 	for i, jobs := range []int{1, 8} {
 		_, sched, client := newTestServer(t, SchedConfig{Workers: 1, EngineJobs: jobs})
 		_, blobs[i] = submitWait(t, sched, client, spec)
 	}
-	if !bytes.Equal(blobs[0].Data, blobs[1].Data) {
+	if !bytes.Equal(blobBytes(t, blobs[0]), blobBytes(t, blobs[1])) {
 		t.Error("v2.1 blob bytes differ between EngineJobs=1 and EngineJobs=8")
 	}
 	if blobs[0].MD5 != blobs[1].MD5 {

@@ -171,7 +171,7 @@ func NewScheduler(cfg SchedConfig, cache *Cache) *Scheduler {
 		cfg.MaxJobs = 1024
 	}
 	if cache == nil {
-		cache = NewCache(0)
+		cache, _ = NewCache(CacheConfig{}) // memory-only: never errors
 	}
 	s := &Scheduler{cfg: cfg, cache: cache, jobs: make(map[string]*Job),
 		running: make(map[sampler.Kind]int)}
@@ -191,20 +191,24 @@ func (s *Scheduler) EngineRuns() uint64 { return s.engineRuns.Load() }
 
 // Stats snapshots the scheduler and cache counters.
 func (s *Scheduler) Stats() SchedStats {
-	hits, coalesced, evictions := s.cache.Stats()
+	cs := s.cache.Stats()
 	s.mu.Lock()
 	queued, running := len(s.queue), s.nRun
 	s.mu.Unlock()
 	return SchedStats{
-		Submitted:      s.submitted.Load(),
-		Rejected:       s.rejected.Load(),
-		EngineRuns:     s.engineRuns.Load(),
-		CacheHits:      hits,
-		Coalesced:      coalesced,
-		CacheEntries:   s.cache.Len(),
-		CacheEvictions: evictions,
-		Queued:         queued,
-		Running:        running,
+		Submitted:       s.submitted.Load(),
+		Rejected:        s.rejected.Load(),
+		EngineRuns:      s.engineRuns.Load(),
+		CacheHits:       cs.Hits,
+		Coalesced:       cs.Coalesced,
+		CacheEntries:    cs.Entries,
+		CacheEvictions:  cs.Evictions,
+		CacheBytesMem:   cs.BytesMem,
+		CacheBytesDisk:  cs.BytesDisk,
+		CacheDemotions:  cs.Demotions,
+		CachePromotions: cs.Promotions,
+		Queued:          queued,
+		Running:         running,
 	}
 }
 
@@ -560,7 +564,7 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 	s.engineRuns.Add(1)
 	results := engine.Runner{Jobs: s.cfg.EngineJobs}.RunAllContext(ctx, scs)
 
-	art := &JobArtifacts{Traces: make([]TraceBlob, len(rs))}
+	art := &JobArtifacts{Traces: make([]*TraceBlob, len(rs))}
 	for i, res := range results {
 		if res.Err != nil {
 			if ctx.Err() != nil {
@@ -585,7 +589,7 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 // result: aggregate counters, Eq. 1 accuracy, and the same tables the
 // local CLI prints, derived from the blob by one out-of-core postproc
 // pass.
-func digest(r *resolved, prof *core.Profile, buf *bytes.Buffer) (ScenarioResult, TraceBlob, error) {
+func digest(r *resolved, prof *core.Profile, buf *bytes.Buffer) (ScenarioResult, *TraceBlob, error) {
 	sr := ScenarioResult{
 		Name:        r.spec.Name,
 		Workload:    prof.Workload,
@@ -594,7 +598,6 @@ func digest(r *resolved, prof *core.Profile, buf *bytes.Buffer) (ScenarioResult,
 		MemAccesses: prof.MemAccesses,
 		BusAccesses: prof.BusAccesses,
 	}
-	blob := TraceBlob{Name: r.spec.Name}
 	if r.cfg.Mode.Counters() {
 		sr.Bandwidth = &prof.Bandwidth
 		if r.cfg.TrackRSS {
@@ -602,18 +605,18 @@ func digest(r *resolved, prof *core.Profile, buf *bytes.Buffer) (ScenarioResult,
 		}
 	}
 	if !r.cfg.Mode.Sampling() || buf == nil {
-		return sr, blob, nil
+		return sr, NewTraceBlob(r.spec.Name, nil, [16]byte{}), nil
 	}
 
 	sr.Backend = string(prof.Backend)
 	sr.Samples = prof.Sampler.Processed
 	sr.Accuracy = analysis.Accuracy(prof.MemAccesses, prof.Sampler.Processed, r.cfg.EffectivePeriod())
-	blob.Data = buf.Bytes()
-	blob.MD5 = prof.MD5
+	data := buf.Bytes()
+	blob := NewTraceBlob(r.spec.Name, data, prof.MD5)
 	sr.TraceMD5 = hex.EncodeToString(blob.MD5[:])
-	sr.TraceBytes = int64(len(blob.Data))
+	sr.TraceBytes = int64(len(data))
 
-	rd, err := trace.OpenV2(bytes.NewReader(blob.Data))
+	rd, err := trace.OpenV2(bytes.NewReader(data))
 	if err != nil {
 		return sr, blob, fmt.Errorf("service: scenario %q blob: %w", r.spec.Name, err)
 	}

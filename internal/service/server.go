@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -156,7 +157,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	blob, ok := art.Trace(r.URL.Query().Get("scenario"))
-	if !ok || len(blob.Data) == 0 {
+	if !ok || blob.Size() == 0 {
 		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
 			j.ID, r.URL.Query().Get("scenario")))
 		return
@@ -168,28 +169,61 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin the blob's current backing for this request: resident bytes,
+	// or an open handle on its spill file (which keeps serving even if
+	// the cache deletes the file mid-response).
+	data, h, bk, err := blob.open()
+	if err != nil {
+		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s: trace evicted from cache: %v", j.ID, err))
+		return
+	}
+	if h != nil {
+		defer bk.releaseFile(h)
+	}
+
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if !filtered {
-		// Unfiltered: the stored bytes verbatim in one copy — net/http's
-		// ResponseWriter is an io.ReaderFrom, so io.Copy runs its
-		// ReadFrom loop without any intermediate chunk buffer (and once
-		// the blob is file-backed, as sendfile). The rolling MD5 is
-		// echoed so clients can verify without reading the tail first;
-		// Content-Length lets them preallocate.
+		// Unfiltered: the stored bytes verbatim. A memory-tier blob
+		// writes straight out of its resident slice (net/http's
+		// ResponseWriter is an io.ReaderFrom, so io.Copy runs a
+		// single WriteTo with no intermediate chunk buffer). A
+		// file-tier blob streams through its handle's pooled 256 KiB
+		// buffer — never staged on the heap in full, zero allocations
+		// in steady state. The rolling MD5 is echoed so clients can
+		// verify without reading the tail first; Content-Length lets
+		// them preallocate (and keeps the proxy hop pass-through).
 		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(blob.MD5[:]))
 		w.Header().Set("Content-Length", strconv.FormatInt(blob.Size(), 10))
 		w.WriteHeader(http.StatusOK)
-		io.Copy(w, blob.SectionReader()) // error means the client went away
+		if h != nil {
+			if h.buf == nil {
+				h.buf = make([]byte, 256<<10)
+			}
+			h.lr = io.LimitedReader{R: h.f, N: blob.Size()}
+			h.out.w = w
+			io.CopyBuffer(&h.out, &h.lr, h.buf) // error means the client went away
+			h.out.w = nil
+		} else {
+			io.Copy(w, bytes.NewReader(data))
+		}
 		return
 	}
 
 	// Filtered: restream through the block-skip push-down. Blocks the
 	// index proves entirely inside the predicate are spliced in their
 	// stored form (no decode, no decompress/recompress); boundary
-	// blocks are exact-filtered. The response is a fresh, self-
-	// describing v2/v2.1 stream; errors past the header surface as a
-	// truncated chunked body (the client's OpenV2 rejects it).
-	rd, err := trace.OpenV2(blob.SectionReader())
+	// blocks are exact-filtered — only straddlers are ever read into
+	// memory, whichever tier the blob lives in. The response is a
+	// fresh, self-describing v2/v2.1 stream; errors past the header
+	// surface as a truncated chunked body (the client's OpenV2
+	// rejects it).
+	var src io.ReadSeeker
+	if h != nil {
+		src = io.NewSectionReader(h.f, 0, blob.Size())
+	} else {
+		src = bytes.NewReader(data)
+	}
+	rd, err := trace.OpenV2(src)
 	if err != nil {
 		WriteError(w, http.StatusInternalServerError, err)
 		return

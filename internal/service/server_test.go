@@ -16,7 +16,7 @@ import (
 // newTestServer spins a full HTTP stack over a fresh scheduler.
 func newTestServer(t *testing.T, cfg SchedConfig) (*httptest.Server, *Scheduler, *Client) {
 	t.Helper()
-	sched := NewScheduler(cfg, NewCache(0))
+	sched := NewScheduler(cfg, nil)
 	t.Cleanup(sched.Close)
 	srv := httptest.NewServer(NewServer(sched))
 	t.Cleanup(srv.Close)
@@ -66,7 +66,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 	// The wire bytes are the stored blob verbatim...
 	job, _ := sched.Get(info.ID)
-	if !bytes.Equal(buf.Bytes(), job.Artifacts().Traces[0].Data) {
+	if !bytes.Equal(buf.Bytes(), blobBytes(t, job.Artifacts().Traces[0])) {
 		t.Error("streamed bytes differ from the stored blob")
 	}
 	// ...and a valid v2 file whose tail checksum matches.
@@ -110,7 +110,7 @@ func TestHTTPTraceFilterPushdown(t *testing.T) {
 
 	// Pick bounds that split the run: the middle half of the time
 	// range, one core.
-	full, err := trace.OpenV2(bytes.NewReader(blob.Data))
+	full, err := trace.OpenV2(bytes.NewReader(blobBytes(t, blob)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func quickJob(seed uint64) JobSpec {
 // newTestScheduler builds a scheduler the test owns.
 func newTestScheduler(t *testing.T, cfg SchedConfig) *Scheduler {
 	t.Helper()
-	s := NewScheduler(cfg, NewCache(0))
+	s := NewScheduler(cfg, nil)
 	t.Cleanup(s.Close)
 	return s
 }
@@ -63,6 +63,17 @@ func waitDone(t *testing.T, j *Job) JobInfo {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// blobBytes materializes a blob for comparison (reading its spill
+// file when demoted), failing the test on a read error.
+func blobBytes(t *testing.T, b *TraceBlob) []byte {
+	t.Helper()
+	data, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestConcurrentSubmissionSingleFill is the scheduler's core
@@ -127,7 +138,7 @@ func TestConcurrentSubmissionSingleFill(t *testing.T) {
 		if !reflect.DeepEqual(art.Doc, base.Doc) {
 			t.Errorf("job %d result doc differs from its identical peers", i)
 		}
-		if !bytes.Equal(art.Traces[0].Data, base.Traces[0].Data) {
+		if !bytes.Equal(blobBytes(t, art.Traces[0]), blobBytes(t, base.Traces[0])) {
 			t.Errorf("job %d trace bytes differ from its identical peers", i)
 		}
 	}
@@ -173,7 +184,7 @@ func TestCachedEqualsFresh(t *testing.T) {
 	if !reflect.DeepEqual(j2.Artifacts().Doc, j3.Artifacts().Doc) {
 		t.Error("cached result differs from a fresh run's")
 	}
-	if !bytes.Equal(j2.Artifacts().Traces[0].Data, j3.Artifacts().Traces[0].Data) {
+	if !bytes.Equal(blobBytes(t, j2.Artifacts().Traces[0]), blobBytes(t, j3.Artifacts().Traces[0])) {
 		t.Error("cached trace bytes differ from a fresh run's")
 	}
 }
@@ -225,9 +236,9 @@ func TestServedTraceMatchesLocalRun(t *testing.T) {
 	if blob.MD5 != prof.MD5 {
 		t.Errorf("served trace MD5 %x != local profile MD5 %x", blob.MD5, prof.MD5)
 	}
-	if !bytes.Equal(blob.Data, local.Bytes()) {
+	if !bytes.Equal(blobBytes(t, blob), local.Bytes()) {
 		t.Errorf("served trace bytes differ from the local -trace-out stream (%d vs %d bytes)",
-			len(blob.Data), local.Len())
+			blob.Size(), local.Len())
 	}
 	if prof.Sampler.Processed == 0 {
 		t.Fatal("local run produced no samples; the parity check is vacuous")
@@ -493,30 +504,56 @@ func TestScenarioKeyCanonicalization(t *testing.T) {
 	}
 }
 
-// TestCacheEviction: completed entries evict FIFO past the cap;
-// nothing in flight is ever evicted.
+// TestCacheEviction: memory-only completed entries evict LRU by blob
+// bytes once the memory budget is exceeded, an Acquire hit refreshes
+// recency, and nothing in flight is ever evicted.
 func TestCacheEviction(t *testing.T) {
-	c := NewCache(2)
-	fill := func(key string) {
+	c, err := NewCache(CacheConfig{MemBudget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(key string, n int) {
 		e, leader := c.Acquire(key)
 		if !leader {
 			t.Fatalf("key %s unexpectedly present", key)
 		}
-		c.Fill(e, &JobArtifacts{})
+		c.Fill(e, &JobArtifacts{Traces: []*TraceBlob{
+			NewTraceBlob(key, make([]byte, n), [16]byte{}),
+		}})
 	}
-	fill("a")
-	fill("b")
-	fill("c") // evicts a
-	if c.Len() != 2 {
-		t.Errorf("cache holds %d entries, want 2", c.Len())
+	fill("a", 100)
+	fill("b", 100)
+	// Touch a: b becomes the cold end.
+	if _, leader := c.Acquire("a"); leader {
+		t.Fatal("key a vanished")
 	}
-	if _, leader := c.Acquire("a"); !leader {
-		t.Error("evicted key still present")
+	fill("c", 100) // 300 bytes > 256: the LRU victim is b
+	if e, leader := c.Acquire("b"); !leader {
+		t.Error("cold key b survived past the byte budget")
+	} else {
+		c.Abort(e, ErrCanceled)
 	}
-	_, _, ev := c.Stats()
-	if ev != 1 {
-		t.Errorf("evictions = %d, want 1", ev)
+	if _, leader := c.Acquire("a"); leader {
+		t.Error("recently used key a was evicted instead of the LRU one")
 	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.BytesMem != 200 {
+		t.Errorf("bytes_mem = %d, want 200", st.BytesMem)
+	}
+
+	// An in-flight entry survives any amount of pressure.
+	d, leader := c.Acquire("d")
+	if !leader {
+		t.Fatal("key d unexpectedly present")
+	}
+	fill("big", 300) // overflows the whole budget by itself
+	if _, leader := c.Acquire("d"); leader {
+		t.Error("in-flight entry was evicted under pressure")
+	}
+	c.Abort(d, ErrCanceled)
 }
 
 // TestJobRecordPruning: terminal job records beyond MaxJobs are
@@ -648,7 +685,7 @@ func TestResourceBoundsRejected(t *testing.T) {
 // bug was exactly a window where the popped job raced baseCancel.
 func TestCloseConcurrentSubmitShutsDownCleanly(t *testing.T) {
 	for round := 0; round < 8; round++ {
-		s := NewScheduler(SchedConfig{Workers: 2}, NewCache(0))
+		s := NewScheduler(SchedConfig{Workers: 2}, nil)
 		const n = 16
 		var wg sync.WaitGroup
 		jobs := make([]*Job, n)

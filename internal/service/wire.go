@@ -222,6 +222,14 @@ type SchedStats struct {
 	// CacheEntries / CacheEvictions describe the cache population.
 	CacheEntries   int    `json:"cache_entries"`
 	CacheEvictions uint64 `json:"cache_evictions"`
+	// CacheBytesMem / CacheBytesDisk are the current byte occupancy of
+	// the two cache tiers; CacheDemotions / CachePromotions count blob
+	// movements between them (memory→disk under pressure, disk→memory
+	// on hit).
+	CacheBytesMem   int64  `json:"cache_bytes_mem"`
+	CacheBytesDisk  int64  `json:"cache_bytes_disk"`
+	CacheDemotions  uint64 `json:"cache_demotions"`
+	CachePromotions uint64 `json:"cache_promotions"`
 	// Queued / Running are current occupancy.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`

@@ -625,6 +625,30 @@ func (rd *ReaderV2) PayloadSizes() (stored, raw uint64) {
 	return stored, raw
 }
 
+// VerifyMD5 rehashes the stream's uncompressed record payload block by
+// block and checks it against the rolling MD5 recorded in the tail,
+// returning the recomputed sum. It never decodes samples — the rolling
+// hash is defined over the encoded payload bytes in stream order, so
+// verification is a straight read (plus per-block decompression for
+// v2.1 files). This is the integrity check a daemon runs when adopting
+// a spilled cache file it did not write itself.
+func (rd *ReaderV2) VerifyMD5() ([16]byte, error) {
+	h := md5.New()
+	for i := range rd.index {
+		_, payload, err := rd.readStoredBlock(i)
+		if err != nil {
+			return [16]byte{}, err
+		}
+		h.Write(payload)
+	}
+	var sum [16]byte
+	h.Sum(sum[:0])
+	if sum != rd.sum {
+		return sum, fmt.Errorf("%w: payload md5 %x does not match tail %x", ErrBadTrace, sum, rd.sum)
+	}
+	return sum, nil
+}
+
 // ReadAll materializes the whole file into an in-memory Trace (the v1
 // object model). Intended for tooling and tests; out-of-core consumers
 // use Scan.
