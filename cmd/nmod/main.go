@@ -35,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +44,7 @@ import (
 
 	"nmo/internal/sampler"
 	"nmo/internal/service"
+	"nmo/internal/zerocopy"
 )
 
 func main() {
@@ -87,14 +89,25 @@ func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg serv
 	sched := service.NewScheduler(cfg, cache)
 	defer sched.Close()
 
-	srv := &http.Server{Addr: addr, Handler: service.NewServer(sched)}
+	// The listener is wrapped for the zero-copy data plane: accepted
+	// conns cache a raw fd so unfiltered file-tier trace serves run
+	// sendfile(2) instead of the pooled copy, and ConnContext lets the
+	// trace handler pick the right serve tier per request. Counters
+	// are shared with the handler so /v1/stats sees both sides.
+	h := service.NewServer(sched)
+	srv := &http.Server{Addr: addr, Handler: h, ConnContext: zerocopy.ConnContext}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 
 	// Graceful shutdown: stop accepting, drain in-flight HTTP, then
 	// the deferred scheduler Close cancels whatever is still queued.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(zerocopy.WrapListener(ln, h.ZeroCopy())) }()
 	tier := "memory-only"
 	if ccfg.Dir != "" {
 		tier = "spill dir " + ccfg.Dir

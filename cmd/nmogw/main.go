@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"nmo/internal/gateway"
+	"nmo/internal/zerocopy"
 )
 
 func main() {
@@ -64,11 +66,18 @@ func run(addr, members string, replicas int, probe time.Duration) error {
 	}
 	defer gw.Close()
 
-	srv := &http.Server{Addr: addr, Handler: gw}
+	// Wrapped listener + ConnContext: client conns carry the zero-copy
+	// state the splice proxy hop needs, so sized shard trace bodies
+	// move shard-socket → pipe → client-socket in kernel space.
+	srv := &http.Server{Addr: addr, Handler: gw, ConnContext: zerocopy.ConnContext}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(zerocopy.WrapListener(ln, gw.ZeroCopy())) }()
 	fmt.Printf("nmogw: listening on %s, routing %d members (%d vnodes each, probe %s)\n",
 		addr, len(list), replicas, probe)
 

@@ -171,6 +171,11 @@ func remoteStats(out io.Writer, o options) error {
 	t.AddRow("cache promotions", st.CachePromotions)
 	t.AddRow("queued", st.Queued)
 	t.AddRow("running", st.Running)
+	t.AddRow("zc sendfile bytes", st.ZcSendfileBytes)
+	t.AddRow("zc splice bytes", st.ZcSpliceBytes)
+	t.AddRow("zc fallback bytes", st.ZcFallbackBytes)
+	t.AddRow("trace client aborts", st.TraceClientAborts)
+	t.AddRow("trace serve errors", st.TraceServeErrors)
 	return t.Render(out)
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nmo/internal/service"
+	"nmo/internal/zerocopy"
 )
 
 // Config sizes a gateway.
@@ -43,10 +44,16 @@ type Config struct {
 // via the probe loop.
 type member struct {
 	base   string // normalized base URL (also the ring label)
+	addr   string // "host:port" when base is plain http — the splice dial target
 	client *service.Client
 
 	healthy atomic.Bool
 	lastErr atomic.Value // string
+
+	// pool holds idle upstream connections for the splice proxy path
+	// (the gateway's own keep-alive, since splicing needs the raw
+	// socket that http.Client hides).
+	pool chan *upstreamConn
 }
 
 func (m *member) markDown(err error) {
@@ -80,6 +87,7 @@ type Gateway struct {
 	ring    *Ring
 	mux     *http.ServeMux
 	httpc   *http.Client
+	zc      *zerocopy.Counters
 
 	probeEvery   time.Duration
 	probeTimeout time.Duration
@@ -119,13 +127,15 @@ func New(cfg Config) (*Gateway, error) {
 		probeEvery:   cfg.ProbeEvery,
 		probeTimeout: cfg.ProbeTimeout,
 		stop:         make(chan struct{}),
+		zc:           new(zerocopy.Counters),
 	}
 	for _, addr := range cfg.Members {
 		c := service.NewClient(addr)
 		if g.byBase[c.Base] != nil {
 			return nil, fmt.Errorf("gateway: member %q duplicated", addr)
 		}
-		m := &member{base: c.Base, client: c}
+		m := &member{base: c.Base, addr: dialAddr(c.Base), client: c,
+			pool: make(chan *upstreamConn, upstreamPoolSize)}
 		m.markUp()
 		g.members = append(g.members, m)
 		g.byBase[c.Base] = m
@@ -145,11 +155,27 @@ func New(cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
-// Close stops the probe loop.
+// Close stops the probe loop and drops the pooled upstream conns.
 func (g *Gateway) Close() {
 	g.closeOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
+	for _, m := range g.members {
+		for {
+			select {
+			case uc := <-m.pool:
+				uc.close()
+				continue
+			default:
+			}
+			break
+		}
+	}
 }
+
+// ZeroCopy returns the gateway's data-plane counters (splice bytes on
+// the proxy hop, fallback relay bytes, terminal copy outcomes). The
+// daemon hands the same object to zerocopy.WrapListener.
+func (g *Gateway) ZeroCopy() *zerocopy.Counters { return g.zc }
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -319,7 +345,7 @@ func (g *Gateway) submitTo(w http.ResponseWriter, r *http.Request, m *member, bo
 	defer resp.Body.Close()
 	m.markUp()
 	if resp.StatusCode != http.StatusOK {
-		copyResponse(w, resp, nil)
+		g.copyResponse(w, r, resp, nil)
 		return true, nil
 	}
 	var info service.JobInfo
@@ -359,6 +385,16 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
+
+	// Trace reads over a zero-copy downstream conn take the splice
+	// proxy: the gateway speaks HTTP/1.1 to the shard on its own
+	// pooled TCP conn (http.Client hides the socket splice needs) and
+	// moves the sized body kernel-side. Any failure before the first
+	// response byte falls through to the classic client path below.
+	if suffix == "/trace" && r.Method == http.MethodGet && g.spliceProxy(w, r, m, u) {
+		return
+	}
+
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
 	if err != nil {
 		service.WriteError(w, http.StatusInternalServerError, err)
@@ -389,7 +425,7 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 		service.WriteJSON(w, http.StatusOK, info)
 		return
 	}
-	copyResponse(w, resp, flusherFor(w))
+	g.copyResponse(w, r, resp, flusherFor(w))
 }
 
 // copyBufPool recycles the proxy copy buffers: 256 KB apiece, one per
@@ -416,34 +452,40 @@ func (f flushWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// copyResponse relays a member response: relevant headers, status,
-// then the body. Sized responses — the shard sets Content-Length on
-// unfiltered trace blobs — pass straight through io.Copy with no
-// pooled buffer and no per-chunk flushing: net/http's ResponseWriter
-// is an io.ReaderFrom, so the relay is a single ReadFrom loop that
-// stays splice-eligible shard→gateway→client and preserves the exact
-// byte count end to end. Unsized (chunked) responses — filtered
+// copyResponse relays a member response through http.Client plumbing:
+// relevant headers, status, then the body. Sized responses pass
+// straight through io.Copy; unsized (chunked) responses — filtered
 // restreams — go through the pooled copy buffer, flushed
 // chunk-by-chunk when fl is set so trace streams stay incremental
-// through the gateway.
-func copyResponse(w http.ResponseWriter, resp *http.Response, fl http.Flusher) {
+// through the gateway. This is the fallback relay (the splice proxy
+// handles trace bodies on zero-copy conns), so trace bytes moved here
+// count as fallback, and a broken copy is classified — client abort
+// vs upstream failure — instead of silently discarded.
+func (g *Gateway) copyResponse(w http.ResponseWriter, r *http.Request, resp *http.Response, fl http.Flusher) {
 	for _, h := range []string{"Content-Type", "Content-Length", "X-Nmo-Trace-Md5"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
+	isTrace := resp.Header.Get("Content-Type") == "application/octet-stream"
 	w.WriteHeader(resp.StatusCode)
+	var n int64
+	var err error
 	if resp.ContentLength >= 0 {
-		io.Copy(w, resp.Body) // error means the client went away
-		return
+		n, err = io.Copy(w, resp.Body)
+	} else {
+		bufp := copyBufPool.Get().(*[]byte)
+		defer copyBufPool.Put(bufp)
+		var dst io.Writer = w
+		if fl != nil {
+			dst = flushWriter{w: w, fl: fl}
+		}
+		n, err = io.CopyBuffer(dst, resp.Body, *bufp)
 	}
-	bufp := copyBufPool.Get().(*[]byte)
-	defer copyBufPool.Put(bufp)
-	var dst io.Writer = w
-	if fl != nil {
-		dst = flushWriter{w: w, fl: fl}
+	if isTrace {
+		g.zc.AddFallback(n)
+		g.zc.CountCopyErr(r.Context(), err)
 	}
-	io.CopyBuffer(dst, resp.Body, *bufp) // error means the client went away
 }
 
 func flusherFor(w http.ResponseWriter) http.Flusher {
@@ -508,7 +550,20 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		fleet.CachePromotions += st.CachePromotions
 		fleet.Queued += st.Queued
 		fleet.Running += st.Running
+		fleet.ZcSendfileBytes += st.ZcSendfileBytes
+		fleet.ZcSpliceBytes += st.ZcSpliceBytes
+		fleet.ZcFallbackBytes += st.ZcFallbackBytes
+		fleet.TraceClientAborts += st.TraceClientAborts
+		fleet.TraceServeErrors += st.TraceServeErrors
 	}
+	// The gateway is a data-plane hop of its own: its splice/relay
+	// bytes fold into the same inline counters (shards sendfile,
+	// the gateway splices — both visible in one fleet view).
+	fleet.ZcSendfileBytes += g.zc.SendfileBytes()
+	fleet.ZcSpliceBytes += g.zc.SpliceBytes()
+	fleet.ZcFallbackBytes += g.zc.FallbackBytes()
+	fleet.TraceClientAborts += g.zc.ClientAborts()
+	fleet.TraceServeErrors += g.zc.Errors()
 	service.WriteJSON(w, http.StatusOK, fleet)
 }
 

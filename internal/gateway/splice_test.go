@@ -1,0 +1,168 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"nmo/internal/service"
+	"nmo/internal/zerocopy"
+)
+
+// serveZC starts handler on a real TCP listener wired like the
+// production commands: wrapped listener + ConnContext, so accepted
+// conns carry the zero-copy state the splice/sendfile tiers need.
+func serveZC(t *testing.T, handler http.Handler, ctr *zerocopy.Counters) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler, ConnContext: zerocopy.ConnContext}
+	go srv.Serve(zerocopy.WrapListener(ln, ctr))
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestGatewaySpliceRelay drives the full kernel-offload chain: the
+// shard sendfiles its spill file, the gateway splices the sized body
+// shard-socket → client-socket, and the client still sees bytes
+// identical to a direct shard fetch with the MD5 header intact. The
+// body must overflow the upstream header-read buffer (32 KiB) or the
+// whole response would relay through the buffered prefix and never
+// reach the splice.
+func TestGatewaySpliceRelay(t *testing.T) {
+	cache, err := service.NewCache(service.CacheConfig{Dir: t.TempDir(), MemBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, cache)
+	t.Cleanup(sched.Close)
+	shardH := service.NewServer(sched)
+	shardURL := serveZC(t, shardH, shardH.ZeroCopy())
+
+	gw, err := New(Config{Members: []string{shardURL}, ProbeEvery: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	frontURL := serveZC(t, gw, gw.ZeroCopy())
+	client := service.NewClient(frontURL)
+
+	// A transfer-dominated blob: hundreds of KiB, far past the 32 KiB
+	// upstream buffer.
+	js := spec(31)
+	js.Scenarios[0].Elems = 200_000
+	js.Scenarios[0].Iters = 4
+	js.Scenarios[0].Period = 64
+	info := submitWait(t, client, js)
+	_, inner, err := gw.splitJobID(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok := sched.Get(inner)
+	if !ok {
+		t.Fatal("job vanished from the shard")
+	}
+	if !job.Artifacts().Traces[0].FileBacked() {
+		t.Fatal("blob not demoted; the chain must start at the shard's sendfile tier")
+	}
+
+	direct, md5Direct := fetchTrace(t, service.NewClient(shardURL), inner, service.NewTraceOptions())
+	if len(direct) < 64<<10 {
+		t.Fatalf("fixture blob only %d bytes; too small to outgrow the upstream buffer", len(direct))
+	}
+
+	// Several sequential fetches: the first dials the upstream conn,
+	// the rest must reuse it from the pool.
+	for i := 0; i < 3; i++ {
+		viaGW, md5GW := fetchTrace(t, client, info.ID, service.NewTraceOptions())
+		if !bytes.Equal(viaGW, direct) {
+			t.Fatalf("fetch %d: gateway bytes (%d) differ from direct shard fetch (%d)",
+				i, len(viaGW), len(direct))
+		}
+		if md5GW != md5Direct {
+			t.Fatalf("fetch %d: MD5 header via gateway %q != shard's %q", i, md5GW, md5Direct)
+		}
+	}
+
+	// Filtered (chunked) streams must still flow — they take the
+	// non-splice relay on the same infrastructure.
+	opt := service.NewTraceOptions()
+	opt.Core = 0
+	viaGW, _ := fetchTrace(t, client, info.ID, opt)
+	directF, _ := fetchTrace(t, service.NewClient(shardURL), inner, opt)
+	if len(viaGW) == 0 || !bytes.Equal(viaGW, directF) {
+		t.Fatalf("filtered stream differs through the gateway: %d vs %d bytes",
+			len(viaGW), len(directF))
+	}
+
+	if runtime.GOOS == "linux" {
+		if n := gw.ZeroCopy().SpliceBytes(); n == 0 {
+			t.Error("gateway relayed a large sized trace with zero splice bytes")
+		}
+		if n := shardH.ZeroCopy().SendfileBytes(); n == 0 {
+			t.Error("shard served its spill file with zero sendfile bytes")
+		}
+	}
+
+	// The fleet stats view must surface the gateway's own counters on
+	// top of the member sums.
+	agg, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := shardH.ZeroCopy().SendfileBytes() + shardH.ZeroCopy().FallbackBytes() +
+		gw.ZeroCopy().SpliceBytes() + gw.ZeroCopy().FallbackBytes()
+	got := agg.ZcSendfileBytes + agg.ZcSpliceBytes + agg.ZcFallbackBytes
+	if got < want {
+		t.Errorf("fleet stats count %d zero-copy-plane bytes, members+gateway hold %d", got, want)
+	}
+}
+
+// TestGatewaySpliceFallback pins graceful degradation: a gateway whose
+// *own* client conns are not zero-copy (plain listener, no
+// ConnContext) must never attempt the splice hop, yet serve identical
+// bytes through the classic relay.
+func TestGatewaySpliceFallback(t *testing.T) {
+	sched := service.NewScheduler(service.SchedConfig{Workers: 1}, nil)
+	t.Cleanup(sched.Close)
+	shardH := service.NewServer(sched)
+	shardURL := serveZC(t, shardH, shardH.ZeroCopy())
+
+	gw, err := New(Config{Members: []string{shardURL}, ProbeEvery: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: gw} // deliberately unwrapped
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client := service.NewClient("http://" + ln.Addr().String())
+
+	info := submitWait(t, client, spec(33))
+	_, inner, err := gw.splitJobID(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGW, md5GW := fetchTrace(t, client, info.ID, service.NewTraceOptions())
+	direct, md5Direct := fetchTrace(t, service.NewClient(shardURL), inner, service.NewTraceOptions())
+	if !bytes.Equal(viaGW, direct) || md5GW != md5Direct {
+		t.Fatalf("fallback relay corrupted the stream: %d vs %d bytes, md5 %q vs %q",
+			len(viaGW), len(direct), md5GW, md5Direct)
+	}
+	if n := gw.ZeroCopy().SpliceBytes(); n != 0 {
+		t.Errorf("gateway counted %d splice bytes on non-zero-copy client conns", n)
+	}
+	if gw.ZeroCopy().FallbackBytes() == 0 {
+		t.Error("fallback relay counted no trace bytes")
+	}
+}

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"nmo/internal/zerocopy"
 )
 
 // benchSpec is deliberately tiny: the benchmark measures the service
@@ -187,6 +192,122 @@ func BenchmarkTraceServeFile(b *testing.B) {
 		}
 		run(b, cache, true)
 	})
+}
+
+// BenchmarkTraceServeSendfile contrasts the two data planes on the
+// same demoted blob over real TCP: "sendfile" serves through a
+// wrapped listener (the production wiring — the body leaves via
+// sendfile(2) and never crosses user space), "fallback" through a
+// plain listener (the pooled 256 KiB copy). Both legs are driven by
+// the same raw keep-alive client that discards bodies through
+// zerocopy.Drainer (splice → /dev/null), so the receive side costs
+// page accounting on either leg — like a remote peer's NIC — instead
+// of performing in user space the very copies the serve path
+// eliminated and charging them back to the host under test (see
+// DESIGN.md §14). Each leg also reports user-copy-B/op: the payload
+// bytes the server staged through user space, the quantity the
+// offload removes. CI's benchstat gate watches this pair for
+// regressions of either path.
+func BenchmarkTraceServeSendfile(b *testing.B) {
+	cache, err := NewCache(CacheConfig{Dir: b.TempDir(), MemBudget: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := NewScheduler(SchedConfig{Workers: 1}, cache)
+	defer sched.Close()
+	h := NewServer(sched)
+
+	spec := benchSpec(1)
+	spec.Scenarios[0].Elems = 200_000
+	spec.Scenarios[0].Iters = 4
+	spec.Scenarios[0].Period = 64
+	job, err := sched.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-job.Done()
+	blob := job.Artifacts().Traces[0]
+	if !blob.FileBacked() {
+		b.Fatal("blob not demoted to the spill file")
+	}
+
+	run := func(b *testing.B, wrapped bool) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := &http.Server{Handler: h}
+		if wrapped {
+			srv.ConnContext = zerocopy.ConnContext
+			go srv.Serve(zerocopy.WrapListener(ln, h.ZeroCopy()))
+		} else {
+			go srv.Serve(ln)
+		}
+		defer srv.Close()
+
+		// The drain client: one persistent conn, a precomputed request,
+		// headers parsed in user space, body spliced to /dev/null.
+		addr := ln.Addr().String()
+		tc, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tc.Close()
+		dr, err := zerocopy.NewDrainer(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dr.Close()
+		br := bufio.NewReader(tc)
+		req := []byte("GET /v1/jobs/" + job.ID + "/trace HTTP/1.1\r\nHost: " + addr + "\r\n\r\n")
+		get := func() (int64, error) {
+			if _, err := tc.Write(req); err != nil {
+				return 0, err
+			}
+			resp, err := http.ReadResponse(br, nil)
+			if err != nil {
+				return 0, err
+			}
+			if resp.StatusCode != http.StatusOK || resp.ContentLength <= 0 {
+				return 0, fmt.Errorf("status %s, content-length %d", resp.Status, resp.ContentLength)
+			}
+			// Whatever the header read over-buffered belongs to the body;
+			// the exact remainder is drained in kernel space, leaving the
+			// conn at the next response boundary.
+			cl := resp.ContentLength
+			skip := int64(br.Buffered())
+			if skip > cl {
+				skip = cl
+			}
+			if _, err := br.Discard(int(skip)); err != nil {
+				return 0, err
+			}
+			if rest := cl - skip; rest > 0 {
+				if n, err := dr.Discard(rest); err != nil {
+					return n, err
+				}
+			}
+			return cl, nil
+		}
+
+		fb0 := h.ZeroCopy().FallbackBytes()
+		b.SetBytes(blob.Size())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := get()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != blob.Size() {
+				b.Fatalf("downloaded %d bytes, want %d", n, blob.Size())
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(h.ZeroCopy().FallbackBytes()-fb0)/float64(b.N), "user-copy-B/op")
+	}
+	b.Run("sendfile", func(b *testing.B) { run(b, true) })
+	b.Run("fallback", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkCacheWarmBoot measures the restart path: scanning a spill

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"nmo/internal/zerocopy"
 )
 
 // blobBacking is the storage a TraceBlob currently serves from: a
@@ -14,29 +16,33 @@ import (
 // data/path fields are immutable; demotion and promotion swap the
 // pointer atomically so in-flight serves keep whichever backing they
 // loaded. files pools open descriptors on the spill file so the hot
-// serve path pays os.Open once, not per request.
+// serve path pays os.Open once, not per request; mems pools readers
+// over the resident slice so the memory tier is allocation-free too.
 type blobBacking struct {
 	data  []byte // resident copy; nil once demoted to disk
 	path  string // spill file; "" for memory-only blobs
 	files sync.Pool
+	mems  sync.Pool
 }
 
 // fileHandle is one pooled serve handle: an open descriptor on the
 // spill file plus the reusable copy machinery around it (a
-// LimitedReader shell, a Writer shell, and a 256 KiB chunk buffer).
-// Pooling the whole kit makes a steady-state file-tier serve
-// allocation-free: the blob streams through one bounded buffer and is
-// never staged on the heap in full. The lr field keeps the
-// *io.LimitedReader-over-*os.File shape net.TCPConn.ReadFrom unwraps
-// for sendfile — but the handler copies through buf instead of
-// handing lr to the connection, because Go's net.sendFile allocates a
-// rawConn and closure per call, which costs more than the copy saves
-// for blob-sized responses.
+// LimitedReader shell, a Writer shell, a 256 KiB chunk buffer, and a
+// zerocopy.FileSection). Pooling the whole kit makes a steady-state
+// file-tier serve allocation-free: on a zero-copy connection the
+// handler points fs at the descriptor and the blob moves by
+// sendfile(2) on the conn's cached raw fd; elsewhere the blob streams
+// through the bounded buffer. (Go's own net.sendFile allocates a
+// rawConn and closure per call — the regression that kept PR 7 on the
+// pooled copy; the cached-rawconn path in internal/zerocopy is what
+// finally made the kernel path win.) Either way the payload is never
+// staged on the heap in full.
 type fileHandle struct {
 	f   *os.File
 	lr  io.LimitedReader
 	out chunkWriter
 	buf []byte
+	fs  zerocopy.FileSection
 }
 
 // chunkWriter is a reusable plain-Writer shell: handing it to
@@ -61,11 +67,33 @@ func (bk *blobBacking) acquireFile() (*fileHandle, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A fresh descriptor means this blob wasn't recently served: hint
+	// the whole file ahead so the disk read overlaps the response.
+	zerocopy.FadviseWillNeed(f)
 	return &fileHandle{f: f}, nil
 }
 
 // releaseFile returns a handle from acquireFile to the pool.
 func (bk *blobBacking) releaseFile(h *fileHandle) { bk.files.Put(h) }
+
+// acquireMem returns a pooled reader positioned at the start of the
+// resident bytes — the memory-tier counterpart of acquireFile, so a
+// steady-state resident serve allocates nothing either.
+func (bk *blobBacking) acquireMem() *bytes.Reader {
+	r, _ := bk.mems.Get().(*bytes.Reader)
+	if r == nil {
+		r = new(bytes.Reader)
+	}
+	r.Reset(bk.data)
+	return r
+}
+
+// releaseMem returns a reader from acquireMem to the pool, dropping
+// its view of the data so a pooled reader never pins the slice.
+func (bk *blobBacking) releaseMem(r *bytes.Reader) {
+	r.Reset(nil)
+	bk.mems.Put(r)
+}
 
 // TraceBlob is one scenario's stored v2 (or v2.1) trace: the exact
 // bytes the run's writer sink produced, plus the stream's rolling MD5.
@@ -143,18 +171,6 @@ func (b *TraceBlob) open() (data []byte, h *fileHandle, bk *blobBacking, err err
 		return nil, nil, bk, err
 	}
 	return nil, h, bk, nil
-}
-
-// SectionReader returns an io.ReadSeeker+ReaderAt view of the stored
-// bytes, reading the spill file into memory when demoted. Kept for
-// in-process consumers that need random access without managing a file
-// handle; the HTTP handlers use open instead.
-func (b *TraceBlob) SectionReader() (*io.SectionReader, error) {
-	data, err := b.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	return io.NewSectionReader(bytes.NewReader(data), 0, int64(len(data))), nil
 }
 
 // JobArtifacts is everything a finished job can serve: the result

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -10,6 +9,7 @@ import (
 	"strconv"
 
 	"nmo/internal/trace"
+	"nmo/internal/zerocopy"
 )
 
 // Server exposes a Scheduler over HTTP. Routes (Go 1.22 pattern mux):
@@ -33,11 +33,12 @@ import (
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
+	zc    *zerocopy.Counters
 }
 
 // NewServer wires a scheduler into an HTTP handler.
 func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s := &Server{sched: sched, mux: http.NewServeMux(), zc: new(zerocopy.Counters)}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -54,6 +55,11 @@ func NewServer(sched *Scheduler) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
+
+// ZeroCopy returns the server's data-plane counters. The daemon hands
+// the same object to zerocopy.WrapListener, so listener-side sendfile
+// accounting and handler-side fallback accounting land in one place.
+func (s *Server) ZeroCopy() *zerocopy.Counters { return s.zc }
 
 // MaxSpecBytes bounds the POST /v1/jobs body (a 256-scenario sweep
 // spec is a few tens of KB; a megabyte is generous). Exported so the
@@ -113,7 +119,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	WriteJSON(w, http.StatusOK, s.sched.Stats())
+	st := s.sched.Stats()
+	st.ZcSendfileBytes = s.zc.SendfileBytes()
+	st.ZcSpliceBytes = s.zc.SpliceBytes()
+	st.ZcFallbackBytes = s.zc.FallbackBytes()
+	st.TraceClientAborts = s.zc.ClientAborts()
+	st.TraceServeErrors = s.zc.Errors()
+	WriteJSON(w, http.StatusOK, st)
 }
 
 // artifacts resolves a job's artifacts, mapping unfinished and failed
@@ -172,8 +184,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	// Pin the blob's current backing for this request: resident bytes,
 	// or an open handle on its spill file (which keeps serving even if
 	// the cache deletes the file mid-response).
-	data, h, bk, err := blob.open()
-	if err != nil {
+	_, h, bk, err := blob.open()
+	if err != nil || bk == nil {
 		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s: trace evicted from cache: %v", j.ID, err))
 		return
 	}
@@ -181,47 +193,98 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		defer bk.releaseFile(h)
 	}
 
+	zc := zerocopy.FromContext(r.Context())
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if !filtered {
-		// Unfiltered: the stored bytes verbatim. A memory-tier blob
-		// writes straight out of its resident slice (net/http's
-		// ResponseWriter is an io.ReaderFrom, so io.Copy runs a
-		// single WriteTo with no intermediate chunk buffer). A
-		// file-tier blob streams through its handle's pooled 256 KiB
-		// buffer — never staged on the heap in full, zero allocations
-		// in steady state. The rolling MD5 is echoed so clients can
-		// verify without reading the tail first; Content-Length lets
-		// them preallocate (and keeps the proxy hop pass-through).
+		// Unfiltered: the stored bytes verbatim. The rolling MD5 is
+		// echoed so clients can verify without reading the tail first;
+		// Content-Length lets them preallocate and keeps the response
+		// sized through the proxy hop (and eligible for kernel
+		// offload). Three tiers, best first:
+		//
+		//   1. file-backed on a zero-copy conn — flush the sized
+		//      header, then io.Copy hands the pooled handle's
+		//      FileSection to the connection's ReadFrom, which drives
+		//      sendfile(2) on its cached raw fd: no per-request
+		//      allocation, no user-space byte.
+		//   2. file-backed otherwise (httptest, TLS, non-Linux, or the
+		//      kernel refused) — the classic pooled 256 KiB copy, zero
+		//      allocations in steady state.
+		//   3. memory-resident — one WriteTo straight out of the
+		//      resident slice through a pooled reader.
 		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(blob.MD5[:]))
 		w.Header().Set("Content-Length", strconv.FormatInt(blob.Size(), 10))
 		w.WriteHeader(http.StatusOK)
-		if h != nil {
+		var copyErr error
+		switch {
+		case h != nil && zc != nil:
+			flushHeader(w)
+			h.fs.Set(h.f, 0, blob.Size())
+			_, copyErr = io.Copy(w, &h.fs) // sendfile; bytes counted conn-side
+		case h != nil:
 			if h.buf == nil {
 				h.buf = make([]byte, 256<<10)
 			}
 			h.lr = io.LimitedReader{R: h.f, N: blob.Size()}
 			h.out.w = w
-			io.CopyBuffer(&h.out, &h.lr, h.buf) // error means the client went away
+			n, err := io.CopyBuffer(&h.out, &h.lr, h.buf)
 			h.out.w = nil
-		} else {
-			io.Copy(w, bytes.NewReader(data))
+			s.zc.AddFallback(n)
+			copyErr = err
+		default:
+			mr := bk.acquireMem()
+			n, err := io.Copy(w, mr)
+			bk.releaseMem(mr)
+			s.zc.AddFallback(n)
+			copyErr = err
 		}
+		s.zc.CountCopyErr(r.Context(), copyErr)
 		return
 	}
 
-	// Filtered: restream through the block-skip push-down. Blocks the
-	// index proves entirely inside the predicate are spliced in their
-	// stored form (no decode, no decompress/recompress); boundary
-	// blocks are exact-filtered — only straddlers are ever read into
-	// memory, whichever tier the blob lives in. The response is a
-	// fresh, self-describing v2/v2.1 stream; errors past the header
+	// Filtered, file-backed, no core predicate: serve from a span
+	// plan. The plan is the RestreamExact output described as literal
+	// segments (header, straddler blocks, footer) plus (offset,
+	// length) extents of provably-whole stored blocks — so the size
+	// and checksum are known before the first byte (a sized response
+	// with X-Nmo-Trace-Md5, which the gateway passes through), and
+	// every whole-block run sendfiles verbatim from the spill file on
+	// a zero-copy conn. Only straddlers and the envelope touch user
+	// space. Core filters are excluded: CoreMask aliases at 64 cores,
+	// so no block is ever provably whole and a plan would buffer the
+	// entire filtered stream.
+	if h != nil && core < 0 {
+		rd, err := trace.OpenV2(io.NewSectionReader(h.f, 0, blob.Size()))
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		plan, err := trace.RestreamPlanExact(rd, lo, hi, core)
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(plan.MD5[:]))
+		w.Header().Set("Content-Length", strconv.FormatInt(plan.Size, 10))
+		w.WriteHeader(http.StatusOK)
+		flushHeader(w)
+		s.zc.CountCopyErr(r.Context(), s.servePlan(w, h, plan))
+		return
+	}
+
+	// Filtered, memory-tier or core-predicated: restream chunked
+	// through the block-skip push-down, as before. Blocks the index
+	// proves entirely inside the predicate are spliced in their stored
+	// form; straddlers are exact-filtered. Errors past the header
 	// surface as a truncated chunked body (the client's OpenV2
 	// rejects it).
 	var src io.ReadSeeker
 	if h != nil {
 		src = io.NewSectionReader(h.f, 0, blob.Size())
 	} else {
-		src = bytes.NewReader(data)
+		mr := bk.acquireMem()
+		defer bk.releaseMem(mr)
+		src = mr
 	}
 	rd, err := trace.OpenV2(src)
 	if err != nil {
@@ -229,7 +292,54 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	trace.RestreamExact(rd, w, lo, hi, core)
+	cw := countWriter{w: w}
+	_, _, err = trace.RestreamExact(rd, &cw, lo, hi, core)
+	s.zc.AddFallback(cw.n)
+	s.zc.CountCopyErr(r.Context(), err)
+}
+
+// servePlan streams a span plan: literal segments through the normal
+// write path, extents through the handle's FileSection — sendfile on a
+// zero-copy conn, pread copy anywhere else. Byte-identical to the
+// chunked restream of the same predicate.
+func (s *Server) servePlan(w http.ResponseWriter, h *fileHandle, plan *trace.RestreamPlan) error {
+	for _, seg := range plan.Segments {
+		if seg.Data != nil {
+			n, err := w.Write(seg.Data)
+			s.zc.AddFallback(int64(n))
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		h.fs.Set(h.f, seg.SrcOff, seg.Len)
+		if _, err := io.Copy(w, &h.fs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushHeader pushes the written header onto the wire so net/http's
+// ReadFrom skips its 512-byte sniff prefix and hands the entire body
+// to the connection in one go.
+func flushHeader(w http.ResponseWriter) {
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// countWriter tallies the bytes a chunked restream pushes through the
+// user-space path, so fallback accounting covers filtered serves too.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // traceFilter parses ?from/?to/?core into the canonical trace

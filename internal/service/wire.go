@@ -233,6 +233,20 @@ type SchedStats struct {
 	// Queued / Running are current occupancy.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
+	// The zero-copy data plane's byte accounting: trace body bytes
+	// moved by sendfile(2) (shard spill file → socket), by splice(2)
+	// (upstream socket → client socket on the gateway hop), and
+	// through the user-space fallback copy (memory-tier blobs,
+	// straddler blocks, unwrapped/TLS conns, non-Linux builds). The
+	// three sum to total trace bytes served, so the kernel-offload
+	// ratio is directly readable. TraceClientAborts / TraceServeErrors
+	// split terminal copy failures into "client went away" vs "disk or
+	// upstream broke" — previously both were dropped on the floor.
+	ZcSendfileBytes   int64  `json:"zc_sendfile_bytes"`
+	ZcSpliceBytes     int64  `json:"zc_splice_bytes"`
+	ZcFallbackBytes   int64  `json:"zc_fallback_bytes"`
+	TraceClientAborts uint64 `json:"trace_client_aborts"`
+	TraceServeErrors  uint64 `json:"trace_serve_errors"`
 }
 
 // MemberStats is one shard's row in a gateway's fleet stats view.

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"nmo/internal/trace"
+	"nmo/internal/zerocopy"
+)
+
+// zcServer is a real-TCP server wired exactly like cmd/nmod: wrapped
+// listener + ConnContext, so accepted conns carry the zero-copy state
+// and /trace serves take the sendfile/span-plan tiers. httptest can't
+// stand in here — its conns are never wrapped, so it only ever
+// exercises the fallback copy.
+type zcServer struct {
+	h       *Server
+	client  *Client
+	accepts *int64
+}
+
+// countingListener counts Accept calls so the keep-alive test can
+// prove conn reuse across sendfile serves.
+type countingListener struct {
+	net.Listener
+	n *int64
+}
+
+func (cl countingListener) Accept() (net.Conn, error) {
+	c, err := cl.Listener.Accept()
+	if err == nil {
+		atomic.AddInt64(cl.n, 1)
+	}
+	return c, err
+}
+
+// runJob submits spec straight to the scheduler and returns its first
+// trace blob once the job is terminal.
+func runJob(t *testing.T, sched *Scheduler, spec JobSpec) *TraceBlob {
+	t.Helper()
+	j, err := sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	return j.Artifacts().Traces[0]
+}
+
+func newZCServer(t *testing.T, sched *Scheduler) *zcServer {
+	t.Helper()
+	h := NewServer(sched)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts := new(int64)
+	srv := &http.Server{Handler: h, ConnContext: zerocopy.ConnContext}
+	go srv.Serve(zerocopy.WrapListener(countingListener{ln, accepts}, h.ZeroCopy()))
+	t.Cleanup(func() { srv.Close() })
+	return &zcServer{
+		h:       h,
+		client:  NewClient("http://" + ln.Addr().String()),
+		accepts: accepts,
+	}
+}
+
+// TestTraceServeMatrix crosses every serve tier the zero-copy rework
+// introduced: storage tier (memory vs spill file) × format (v2 vs
+// v2.1) × filter (none → sendfile, time-range → span plan, core →
+// chunked restream) × data plane (wrapped real-TCP conn vs unwrapped
+// httptest conn, the forced-fallback path). Every cell must produce
+// byte-identical bodies and identical X-Nmo-Trace-Md5 headers across
+// the two data planes — kernel offload may never change the wire.
+func TestTraceServeMatrix(t *testing.T) {
+	ctx := context.Background()
+	for _, tier := range []string{"memory", "file"} {
+		for _, compress := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/compress=%t", tier, compress), func(t *testing.T) {
+				var cache *Cache
+				if tier == "file" {
+					// A one-byte memory budget demotes the blob to its
+					// spill file the moment it is filled.
+					var err error
+					cache, err = NewCache(CacheConfig{Dir: t.TempDir(), MemBudget: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				sched := NewScheduler(SchedConfig{Workers: 1}, cache)
+				t.Cleanup(sched.Close)
+
+				spec := quickJob(91)
+				spec.Scenarios[0].Compress = compress
+				blob := runJob(t, sched, spec)
+				if (tier == "file") != blob.FileBacked() {
+					t.Fatalf("blob file-backed = %v in %s tier", blob.FileBacked(), tier)
+				}
+
+				// Both servers front the same scheduler, so both serve
+				// the exact same stored blob.
+				zc := newZCServer(t, sched)
+				fb := httptest.NewServer(NewServer(sched))
+				t.Cleanup(fb.Close)
+				fbClient := NewClient(fb.URL)
+
+				// Resubmit via HTTP to learn the job ID each client sees
+				// (same content address → cache hit, no second run).
+				info, err := zc.client.Submit(ctx, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id := info.ID
+
+				rd, err := trace.OpenV2(bytes.NewReader(blobBytes(t, blob)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lo, hi := rd.Block(0).TimeMin, rd.Block(rd.NumBlocks()-1).TimeMax
+				// A middle window exercises the plan's literal
+				// (straddler) segments; the full span makes every block
+				// provably whole, so its extents must sendfile.
+				ranged := NewTraceOptions()
+				ranged.FromNs, ranged.ToNs = lo+(hi-lo)/4, lo+3*(hi-lo)/4
+				fullspan := NewTraceOptions()
+				fullspan.FromNs, fullspan.ToNs = lo, hi+1
+				byCore := NewTraceOptions()
+				byCore.Core = 1
+
+				for _, fc := range []struct {
+					name string
+					opt  TraceOptions
+				}{
+					{"unfiltered", NewTraceOptions()},
+					{"timerange", ranged},
+					{"fullspan", fullspan},
+					{"core", byCore},
+				} {
+					sfBefore := zc.h.ZeroCopy().SendfileBytes()
+					var zcBuf, fbBuf bytes.Buffer
+					_, zcMD5, err := zc.client.DownloadTrace(ctx, id, fc.opt, &zcBuf)
+					if err != nil {
+						t.Fatalf("%s via zerocopy: %v", fc.name, err)
+					}
+					_, fbMD5, err := fbClient.DownloadTrace(ctx, id, fc.opt, &fbBuf)
+					if err != nil {
+						t.Fatalf("%s via fallback: %v", fc.name, err)
+					}
+					if !bytes.Equal(zcBuf.Bytes(), fbBuf.Bytes()) {
+						t.Errorf("%s: zerocopy and fallback bodies differ (%d vs %d bytes)",
+							fc.name, zcBuf.Len(), fbBuf.Len())
+					}
+					if zcMD5 != fbMD5 {
+						t.Errorf("%s: X-Nmo-Trace-Md5 differs: zerocopy %q, fallback %q",
+							fc.name, zcMD5, fbMD5)
+					}
+					if _, err := trace.OpenV2(bytes.NewReader(zcBuf.Bytes())); err != nil {
+						t.Errorf("%s: served stream is not a valid v2 file: %v", fc.name, err)
+					}
+
+					// The kernel-offload tiers must actually engage on
+					// Linux: unfiltered file serves sendfile the whole
+					// blob, and full-span file serves sendfile their
+					// span-plan extents — every block is provably whole
+					// there. (The middle window may hold only straddler
+					// blocks in a small fixture, and core filters alias
+					// through CoreMask, so neither promises extents.)
+					if runtime.GOOS == "linux" && tier == "file" &&
+						(fc.name == "unfiltered" || fc.name == "fullspan") {
+						if got := zc.h.ZeroCopy().SendfileBytes(); got <= sfBefore {
+							t.Errorf("%s: sendfile bytes did not grow (%d → %d)",
+								fc.name, sfBefore, got)
+						}
+					}
+					// The span plan makes filtered file-tier responses
+					// sized and checksummed; the other filtered cells
+					// stay chunked and headerless.
+					wantMD5 := fc.name == "unfiltered" ||
+						(tier == "file" && (fc.name == "timerange" || fc.name == "fullspan"))
+					if (zcMD5 != "") != wantMD5 {
+						t.Errorf("%s/%s: md5 header presence = %t, want %t",
+							tier, fc.name, zcMD5 != "", wantMD5)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceServeKeepAlive proves the sendfile path preserves HTTP/1.1
+// framing: ten sequential downloads (unfiltered + filtered, so both
+// the offload and chunked paths run) over one client must reuse one
+// TCP conn — if sendfile bytes escaped net/http's response accounting,
+// the Content-Length bookkeeping would break and the conn would die
+// after the first response.
+func TestTraceServeKeepAlive(t *testing.T) {
+	cache, err := NewCache(CacheConfig{Dir: t.TempDir(), MemBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(SchedConfig{Workers: 1}, cache)
+	t.Cleanup(sched.Close)
+	blob := runJob(t, sched, quickJob(92))
+	if !blob.FileBacked() {
+		t.Fatal("fixture blob is not file-backed")
+	}
+	want := blobBytes(t, blob)
+
+	zc := newZCServer(t, sched)
+	ctx := context.Background()
+	info, err := zc.client.Submit(ctx, quickJob(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := trace.OpenV2(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranged := NewTraceOptions()
+	ranged.FromNs = rd.Block(0).TimeMin + 1
+
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		opt := NewTraceOptions()
+		if i%2 == 1 {
+			opt = ranged
+		}
+		buf.Reset()
+		if _, _, err := zc.client.DownloadTrace(ctx, info.ID, opt, &buf); err != nil {
+			t.Fatalf("download %d: %v", i, err)
+		}
+		if opt.FromNs == 0 && !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("download %d: bytes differ from stored blob", i)
+		}
+	}
+	if n := atomic.LoadInt64(zc.accepts); n != 1 {
+		t.Errorf("10 keep-alive downloads used %d conns, want 1", n)
+	}
+	if runtime.GOOS == "linux" {
+		if zc.h.ZeroCopy().SendfileBytes() == 0 {
+			t.Error("no sendfile bytes counted across keep-alive downloads")
+		}
+	}
+}

@@ -60,6 +60,14 @@ func RestreamExact(rd *ReaderV2, w io.Writer, lo, hi uint64, core int) (uint64, 
 	if err != nil {
 		return 0, 0, err
 	}
+	return restreamInto(rd, wr, lo, hi, core)
+}
+
+// restreamInto is the shared walk behind RestreamExact and
+// RestreamPlanExact: wr is already configured (plan mode differs only
+// in the writer's spliceOut hook).
+func restreamInto(rd *ReaderV2, wr *WriterV2, lo, hi uint64, core int) (uint64, int, error) {
+	var err error
 	hints := ScanHints{TimeLo: lo, TimeHi: hi}
 	if core >= 0 {
 		hints.CoreMask = CoreBit(int16(core))
@@ -113,4 +121,92 @@ func RestreamExact(rd *ReaderV2, w io.Writer, lo, hi uint64, core int) (uint64, 
 		}
 	}
 	return wr.Total(), spliced, wr.Close()
+}
+
+// PlanSegment is one piece of a span plan, in output order: either
+// literal bytes (Data non-nil — the header, re-encoded straddler
+// blocks, footer index, and tail) or an extent of Len stored bytes to
+// lift verbatim from the source stream at SrcOff.
+type PlanSegment struct {
+	Data   []byte
+	SrcOff int64
+	Len    int64
+}
+
+// RestreamPlan is a filtered restream described as segments instead of
+// a byte stream. Concatenating the segments (reading extents from the
+// source) yields exactly the bytes RestreamExact writes for the same
+// predicate — same index, same rolling MD5 — but the whole-block spans
+// never pass through user space, so a file-tier server can announce
+// Size and MD5 up front (a sized response) and sendfile every extent
+// straight from the spill file. Adjacent whole blocks coalesce into
+// one extent, so a mostly-admitted trace plans into a handful of
+// large sendfile spans.
+type RestreamPlan struct {
+	Segments []PlanSegment
+	Size     int64    // total output bytes
+	Samples  uint64   // samples in the output stream
+	Spliced  int      // whole blocks lifted verbatim
+	MD5      [16]byte // the output stream's rolling MD5
+}
+
+// RestreamPlanExact computes the span plan for the canonical service
+// predicate over rd (the RestreamExact semantics). The plan holds the
+// literal bytes in memory — bounded by the straddler blocks plus
+// header and footer, not the admitted payload — so it is only worth
+// building when whole blocks dominate; core filters (which can never
+// prove a block whole) should stream through RestreamExact instead.
+func RestreamPlanExact(rd *ReaderV2, lo, hi uint64, core int) (*RestreamPlan, error) {
+	col := &segmentCollector{}
+	wr, err := newWriterV2(col, rd.Meta(), rd.blockSamples, rd.compressed)
+	if err != nil {
+		return nil, err
+	}
+	wr.spliceOut = col.splice
+	total, spliced, err := restreamInto(rd, wr, lo, hi, core)
+	if err != nil {
+		return nil, err
+	}
+	col.flushLiteral()
+	return &RestreamPlan{
+		Segments: col.segs,
+		Size:     col.size,
+		Samples:  total,
+		Spliced:  spliced,
+		MD5:      wr.Sum16(),
+	}, nil
+}
+
+// segmentCollector is the plan-mode sink: writer output accumulates
+// into literal segments, spliceOut calls cut extents (coalescing
+// adjacent ones).
+type segmentCollector struct {
+	segs []PlanSegment
+	lit  []byte
+	size int64
+}
+
+func (sc *segmentCollector) Write(p []byte) (int, error) {
+	sc.lit = append(sc.lit, p...)
+	sc.size += int64(len(p))
+	return len(p), nil
+}
+
+func (sc *segmentCollector) splice(srcOff int64, n int) error {
+	sc.flushLiteral()
+	if last := len(sc.segs) - 1; last >= 0 && sc.segs[last].Data == nil &&
+		sc.segs[last].SrcOff+sc.segs[last].Len == srcOff {
+		sc.segs[last].Len += int64(n)
+	} else {
+		sc.segs = append(sc.segs, PlanSegment{SrcOff: srcOff, Len: int64(n)})
+	}
+	sc.size += int64(n)
+	return nil
+}
+
+func (sc *segmentCollector) flushLiteral() {
+	if len(sc.lit) > 0 {
+		sc.segs = append(sc.segs, PlanSegment{Data: sc.lit})
+		sc.lit = nil
+	}
 }

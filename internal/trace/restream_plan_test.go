@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// planFixture builds a v2/v2.1 stream and returns its raw bytes — the
+// plan's extent offsets index into them.
+func planFixture(t *testing.T, compress bool) []byte {
+	t.Helper()
+	meta := Meta{Workload: "wl", Regions: []string{"a", "b"}, Kernels: []string{"k"}}
+	newW := NewWriterV2
+	if compress {
+		newW = NewWriterV21
+	}
+	var buf bytes.Buffer
+	w, err := newW(&buf, meta, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s := Sample{
+			TimeNs: uint64(1000 * (i + 1)),
+			Core:   int16(i % 4),
+			VA:     uint64(0x1000 + i),
+			Lat:    uint16(10 + i%7),
+			Region: int16(i % 2),
+		}
+		if err := w.Emit(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assemble materializes a plan against the source bytes.
+func assemble(t *testing.T, plan *RestreamPlan, src []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, seg := range plan.Segments {
+		if seg.Data != nil {
+			out.Write(seg.Data)
+			continue
+		}
+		if seg.SrcOff < 0 || seg.SrcOff+seg.Len > int64(len(src)) {
+			t.Fatalf("extent [%d,+%d) outside source of %d bytes", seg.SrcOff, seg.Len, len(src))
+		}
+		out.Write(src[seg.SrcOff : seg.SrcOff+seg.Len])
+	}
+	if int64(out.Len()) != plan.Size {
+		t.Fatalf("assembled %d bytes, plan.Size %d", out.Len(), plan.Size)
+	}
+	return out.Bytes()
+}
+
+// TestRestreamPlanExact proves the span plan is just RestreamExact in
+// segment form: byte-identical output, same MD5, and whole-block runs
+// described as coalesced extents rather than literal bytes.
+func TestRestreamPlanExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi uint64
+		core   int
+	}{
+		{"unfiltered", 0, 0, -1},
+		{"aligned-window", 40_001, 80_001, -1},
+		{"unaligned-window", 30_000, 60_000, -1},
+		{"tail-open", 50_000, 0, -1},
+		{"core-filter", 0, 0, 1},
+		{"empty-result", 900_000, 900_001, -1},
+	}
+	for _, compress := range []bool{false, true} {
+		src := planFixture(t, compress)
+		for _, tc := range cases {
+			rd, err := OpenV2(bytes.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			wantN, wantSpliced, err := RestreamExact(rd, &want, tc.lo, tc.hi, tc.core)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rd2, err := OpenV2(bytes.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := RestreamPlanExact(rd2, tc.lo, tc.hi, tc.core)
+			if err != nil {
+				t.Fatalf("compress=%t %s: %v", compress, tc.name, err)
+			}
+			if plan.Samples != wantN || plan.Spliced != wantSpliced {
+				t.Errorf("compress=%t %s: plan %d/%d samples/spliced, restream %d/%d",
+					compress, tc.name, plan.Samples, plan.Spliced, wantN, wantSpliced)
+			}
+			got := assemble(t, plan, src)
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("compress=%t %s: assembled plan differs from RestreamExact (%d vs %d bytes)",
+					compress, tc.name, len(got), len(want.Bytes()))
+			}
+			chk, err := OpenV2(bytes.NewReader(got))
+			if err != nil {
+				t.Fatalf("compress=%t %s: assembled stream unreadable: %v", compress, tc.name, err)
+			}
+			if chk.MD5() != plan.MD5 {
+				t.Errorf("compress=%t %s: plan MD5 mismatch", compress, tc.name)
+			}
+
+			// The unfiltered plan must be a header literal, ONE coalesced
+			// extent covering every block, and a footer literal.
+			if tc.name == "unfiltered" {
+				extents := 0
+				for _, seg := range plan.Segments {
+					if seg.Data == nil {
+						extents++
+					}
+				}
+				if extents != 1 {
+					t.Errorf("compress=%t unfiltered: %d extents, want 1 coalesced", compress, extents)
+				}
+			}
+		}
+	}
+}

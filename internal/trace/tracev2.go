@@ -117,6 +117,13 @@ type WriterV2 struct {
 	// hash is fed the raw records either way.
 	compress bool
 	cbuf     []byte // reusable compression scratch
+	// spliceOut, when set, diverts spliceBlock's stored bytes: instead
+	// of writing them, the writer reports the (source offset, length)
+	// extent and advances as if it had. The span-plan restream uses
+	// this to describe whole-block runs as file extents a server can
+	// sendfile verbatim. Offsets, index entries, and the rolling MD5
+	// come out identical to the written stream.
+	spliceOut func(srcOff int64, n int) error
 }
 
 // NewWriterV2 starts a v2 stream on w, writing the header immediately.
@@ -308,7 +315,15 @@ func (wr *WriterV2) spliceBlock(info BlockInfo, stored, payload []byte) error {
 	}
 	b := info
 	b.Offset = wr.off
-	if err := wr.write(stored); err != nil {
+	if wr.spliceOut != nil {
+		// info.Offset is still the block's offset in the source stream
+		// (the line above rewrote only the copy destined for the new
+		// index) — exactly the extent the plan needs.
+		if err := wr.spliceOut(int64(info.Offset), len(stored)); err != nil {
+			return err
+		}
+		wr.off += uint64(len(stored))
+	} else if err := wr.write(stored); err != nil {
 		return err
 	}
 	wr.h.Write(payload)

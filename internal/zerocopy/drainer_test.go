@@ -1,0 +1,80 @@
+package zerocopy
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// pair returns two ends of a real loopback TCP connection — the
+// Drainer's kernel path needs actual socket fds, not net.Pipe.
+func pair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil || err != nil {
+		t.Fatalf("dial: %v, accept: %v", cerr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestDrainerExact pins the contract: Discard consumes exactly n bytes
+// and leaves the connection positioned at the next byte, across runs
+// larger than the splice pipe.
+func TestDrainerExact(t *testing.T) {
+	client, server := pair(t)
+	const body = 3*(1<<20) + 1234 // several pipe capacities
+	go func() {
+		buf := make([]byte, body)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		server.Write(buf)
+		server.Write([]byte("TAIL"))
+	}()
+
+	d, err := NewDrainer(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	n, err := d.Discard(body)
+	if err != nil || n != body {
+		t.Fatalf("Discard = %d, %v; want %d, nil", n, err, body)
+	}
+	tail := make([]byte, 4)
+	if _, err := io.ReadFull(client, tail); err != nil || string(tail) != "TAIL" {
+		t.Fatalf("post-drain read = %q, %v; the drain overshot or undershot", tail, err)
+	}
+}
+
+// TestDrainerShortStream pins the error contract: a peer closing
+// mid-run surfaces io.ErrUnexpectedEOF, like the section readers.
+func TestDrainerShortStream(t *testing.T) {
+	client, server := pair(t)
+	go func() {
+		server.Write(make([]byte, 1000))
+		server.Close()
+	}()
+	d, err := NewDrainer(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	n, err := d.Discard(5000)
+	if n != 1000 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Discard = %d, %v; want 1000, ErrUnexpectedEOF", n, err)
+	}
+}
