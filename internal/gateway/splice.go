@@ -174,13 +174,35 @@ func (g *Gateway) relaySpliced(w http.ResponseWriter, r *http.Request, m *member
 
 	// The header read may have buffered the first body bytes; they
 	// relay through the normal write path, then the remainder splices
-	// straight off the socket. (The shard sends exactly Content-Length
-	// body bytes and nothing after, so the buffer never holds more
-	// than the body.)
+	// straight off the socket. A well-behaved shard sends exactly
+	// Content-Length body bytes and nothing after — if the buffer holds
+	// more, the conn is desynced: relay the capped prefix but never
+	// pool the conn, or the excess would be parsed as the next
+	// response's header.
 	buffered := int64(uc.br.Buffered())
-	if buffered > cl {
+	poisoned := buffered > cl
+	if poisoned {
 		buffered = cl
 	}
+
+	// roundTrip cleared both deadlines for the body relay, and the
+	// splice loop parks in the poller on upstream readability with no
+	// timeout of its own — so watch the downstream request context and
+	// cut the upstream read short when the client goes away or the
+	// request is canceled. Without this a shard stalling mid-body pins
+	// the handler goroutine, the pooled conn, and a pipe indefinitely.
+	ctx := r.Context()
+	relayDone := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			uc.tc.SetReadDeadline(time.Now())
+		case <-relayDone:
+		}
+	}()
+
 	var err error
 	if buffered > 0 {
 		n, cerr := io.CopyN(w, uc.br, buffered)
@@ -199,17 +221,22 @@ func (g *Gateway) relaySpliced(w http.ResponseWriter, r *http.Request, m *member
 		}
 		ssPool.Put(ss)
 	}
+	close(relayDone)
+	<-watchDone
 	if err != nil {
 		// Mid-body failure: bytes may be stranded in the pipe, so both
 		// framings are broken — drop the upstream conn and let net/http
 		// close the downstream one (written != Content-Length).
-		g.zc.CountCopyErr(r.Context(), err)
+		g.zc.CountCopyErr(ctx, err)
 		uc.close()
 		return
 	}
-	if resp.Close {
+	if resp.Close || poisoned {
 		uc.close()
 		return
 	}
+	// The watcher may have fired between the last body byte and here;
+	// clear any deadline it set before the conn is pooled.
+	uc.tc.SetReadDeadline(time.Time{})
 	m.putConn(uc)
 }

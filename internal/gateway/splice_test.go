@@ -3,9 +3,11 @@ package gateway
 import (
 	"bytes"
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -164,5 +166,70 @@ func TestGatewaySpliceFallback(t *testing.T) {
 	}
 	if gw.ZeroCopy().FallbackBytes() == 0 {
 		t.Error("fallback relay counted no trace bytes")
+	}
+}
+
+// TestGatewaySpliceClientCancel pins the stalled-shard escape hatch:
+// the splice relay clears its deadlines for the body, so a shard that
+// stops sending mid-body must not pin the handler (and its pooled
+// upstream conn and pipe) past the downstream request's lifetime. The
+// fake shard promises 1 MiB, delivers 8 KiB, and stalls; the client
+// cancels; the gateway must classify the broken relay as a client
+// abort promptly instead of parking in the poller forever.
+func TestGatewaySpliceClientCancel(t *testing.T) {
+	stall := make(chan struct{})
+	t.Cleanup(func() { close(stall) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Nmo-Trace-Md5", "00000000000000000000000000000000")
+		w.Header().Set("Content-Length", strconv.Itoa(1<<20))
+		w.WriteHeader(http.StatusOK)
+		w.Write(make([]byte, 8<<10))
+		flusherFor(w).Flush()
+		<-stall // promised 1 MiB, never delivers the rest
+	})
+	shardLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSrv := &http.Server{Handler: mux}
+	go shardSrv.Serve(shardLn)
+	t.Cleanup(func() { shardSrv.Close() })
+
+	gw, err := New(Config{Members: []string{"http://" + shardLn.Addr().String()}, ProbeEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	frontURL := serveZC(t, gw, gw.ZeroCopy())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, frontURL+"/v1/jobs/s0-jstall/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delivered prefix must flow through before the stall bites.
+	if _, err := io.CopyN(io.Discard, resp.Body, 8<<10); err != nil {
+		t.Fatalf("reading the delivered prefix: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.ZeroCopy().ClientAborts() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never released the stalled relay after the client canceled")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -268,7 +268,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(plan.Size, 10))
 		w.WriteHeader(http.StatusOK)
 		flushHeader(w)
-		s.zc.CountCopyErr(r.Context(), s.servePlan(w, h, plan))
+		s.zc.CountCopyErr(r.Context(), s.servePlan(w, h, plan, zc))
 		return
 	}
 
@@ -301,8 +301,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // servePlan streams a span plan: literal segments through the normal
 // write path, extents through the handle's FileSection — sendfile on a
 // zero-copy conn, pread copy anywhere else. Byte-identical to the
-// chunked restream of the same predicate.
-func (s *Server) servePlan(w http.ResponseWriter, h *fileHandle, plan *trace.RestreamPlan) error {
+// chunked restream of the same predicate. On a wrapped conn the extent
+// bytes are credited conn-side (sendfile or fallback) by Conn.ReadFrom;
+// on anything else they stream through FileSection.Read invisibly, so
+// they are counted as fallback here to keep sendfile+splice+fallback
+// summing to total trace bytes served.
+func (s *Server) servePlan(w http.ResponseWriter, h *fileHandle, plan *trace.RestreamPlan, zc *zerocopy.Conn) error {
 	for _, seg := range plan.Segments {
 		if seg.Data != nil {
 			n, err := w.Write(seg.Data)
@@ -313,7 +317,11 @@ func (s *Server) servePlan(w http.ResponseWriter, h *fileHandle, plan *trace.Res
 			continue
 		}
 		h.fs.Set(h.f, seg.SrcOff, seg.Len)
-		if _, err := io.Copy(w, &h.fs); err != nil {
+		n, err := io.Copy(w, &h.fs)
+		if zc == nil {
+			s.zc.AddFallback(n)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -68,7 +68,18 @@ func (c *Conn) splice(ss *SocketSection) (int64, error, bool) {
 	if err != nil {
 		return 0, nil, false
 	}
-	defer putPipe(p)
+	defer func() {
+		if c.inPipe != 0 {
+			// A terminal mid-body error stranded response bytes in the
+			// pipe. Pooling the pair would splice those stale bytes into
+			// whatever transfer draws it next — cross-request body
+			// corruption — so the pair is retired instead.
+			c.inPipe = 0
+			p.discard()
+			return
+		}
+		putPipe(p)
+	}()
 	if c.step == nil {
 		c.step = c.transferStep
 	}
@@ -238,6 +249,14 @@ func getPipe() (*pipePair, error) {
 
 func putPipe(p *pipePair) { pipePool.Put(p) }
 
+// discard retires a pair that may hold stranded bytes from an aborted
+// transfer: clear the finalizer (so the fds aren't closed twice) and
+// close now instead of pooling.
+func (p *pipePair) discard() {
+	runtime.SetFinalizer(p, nil)
+	p.close()
+}
+
 func (p *pipePair) close() {
 	syscall.Close(p.r)
 	syscall.Close(p.w)
@@ -263,6 +282,7 @@ type Drainer struct {
 	moved  int64
 	terr   error
 	refuse bool
+	dirty  bool // emptyPipe failed with bytes still in the pipe
 }
 
 // NewDrainer wraps c. It never fails into an unusable state: when the
@@ -296,7 +316,7 @@ func NewDrainer(c net.Conn) (*Drainer, error) {
 // many were moved and the first error. Short streams surface as
 // io.ErrUnexpectedEOF, mirroring the section readers.
 func (d *Drainer) Discard(n int64) (int64, error) {
-	if d.rc == nil || d.refuse {
+	if d.rc == nil || d.refuse || d.dirty {
 		return d.discardCopy(n)
 	}
 	d.want, d.moved, d.terr = n, 0, nil
@@ -362,16 +382,23 @@ func (d *Drainer) emptyPipe(n int64) bool {
 			err = io.ErrShortWrite
 		}
 		d.terr = err
+		d.dirty = true
 		return false
 	}
 	return true
 }
 
-// Close releases the pipe back to the pool and closes the /dev/null
-// handle. The wrapped connection stays open.
+// Close releases the pipe back to the pool — unless a failed drain
+// left bytes stranded in it, in which case the pair is retired so no
+// other transfer can inherit them — and closes the /dev/null handle.
+// The wrapped connection stays open.
 func (d *Drainer) Close() error {
 	if d.pipe != nil {
-		putPipe(d.pipe)
+		if d.dirty {
+			d.pipe.discard()
+		} else {
+			putPipe(d.pipe)
+		}
 		d.pipe = nil
 	}
 	if d.null != nil {
