@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"nmo/internal/obs"
 	"nmo/internal/sampler"
 	"nmo/internal/service"
 	"nmo/internal/zerocopy"
@@ -57,6 +58,10 @@ func main() {
 	cacheMemMiB := flag.Int("cache-mem-mib", 256, "in-memory cache tier budget, MiB")
 	cacheDiskMiB := flag.Int("cache-disk-mib", 4096, "on-disk cache tier budget, MiB (needs -cache-dir)")
 	backendSlots := flag.Int("backend-slots", 0, "max running jobs per sampling backend (0 = unlimited)")
+	auditLog := flag.String("audit-log", os.Getenv("NMO_AUDIT_LOG"),
+		"append-only JSONL audit file: one event per HTTP request and job transition (default $NMO_AUDIT_LOG; empty = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"private listen address serving net/http/pprof under /debug/pprof/ (empty = off)")
 	flag.Parse()
 
 	ccfg := service.CacheConfig{
@@ -64,17 +69,33 @@ func main() {
 		MemBudget:  int64(*cacheMemMiB) << 20,
 		DiskBudget: int64(*cacheDiskMiB) << 20,
 	}
-	if err := run(*addr, *workers, *queueCap, *engineJobs, *backendSlots, ccfg); err != nil {
+	if err := run(*addr, *workers, *queueCap, *engineJobs, *backendSlots, ccfg, *auditLog, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg service.CacheConfig) error {
+func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg service.CacheConfig, auditLog, debugAddr string) error {
+	var audit *obs.AuditLog
+	if auditLog != "" {
+		var err error
+		if audit, err = obs.OpenAudit(auditLog); err != nil {
+			return fmt.Errorf("audit log %s: %w", auditLog, err)
+		}
+		defer audit.Close()
+	}
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, obs.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "nmod: debug listener:", err)
+			}
+		}()
+	}
 	cfg := service.SchedConfig{
 		Workers:    workers,
 		QueueCap:   queueCap,
 		EngineJobs: engineJobs,
+		Metrics:    service.NewMetrics(audit),
 	}
 	if backendSlots > 0 {
 		cfg.BackendSlots = map[sampler.Kind]int{}

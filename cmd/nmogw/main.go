@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"nmo/internal/gateway"
+	"nmo/internal/obs"
 	"nmo/internal/zerocopy"
 )
 
@@ -41,25 +42,45 @@ func main() {
 	members := flag.String("members", "", "comma-separated nmod member addresses (required)")
 	replicas := flag.Int("replicas", gateway.DefaultReplicas, "virtual nodes per member on the hash ring")
 	probe := flag.Duration("probe", 2*time.Second, "member health-probe interval")
+	auditLog := flag.String("audit-log", os.Getenv("NMO_AUDIT_LOG"),
+		"append-only JSONL audit file: one event per HTTP request at the gateway edge (default $NMO_AUDIT_LOG; empty = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"private listen address serving net/http/pprof under /debug/pprof/ (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *members, *replicas, *probe); err != nil {
+	if err := run(*addr, *members, *replicas, *probe, *auditLog, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nmogw:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, members string, replicas int, probe time.Duration) error {
+func run(addr, members string, replicas int, probe time.Duration, auditLog, debugAddr string) error {
 	var list []string
 	for _, m := range strings.Split(members, ",") {
 		if m = strings.TrimSpace(m); m != "" {
 			list = append(list, m)
 		}
 	}
+	var audit *obs.AuditLog
+	if auditLog != "" {
+		var err error
+		if audit, err = obs.OpenAudit(auditLog); err != nil {
+			return fmt.Errorf("audit log %s: %w", auditLog, err)
+		}
+		defer audit.Close()
+	}
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, obs.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "nmogw: debug listener:", err)
+			}
+		}()
+	}
 	gw, err := gateway.New(gateway.Config{
 		Members:    list,
 		Replicas:   replicas,
 		ProbeEvery: probe,
+		Audit:      audit,
 	})
 	if err != nil {
 		return err

@@ -176,6 +176,15 @@ func remoteStats(out io.Writer, o options) error {
 	t.AddRow("zc fallback bytes", st.ZcFallbackBytes)
 	t.AddRow("trace client aborts", st.TraceClientAborts)
 	t.AddRow("trace serve errors", st.TraceServeErrors)
+	t.AddRow("uptime", fmt.Sprintf("%.1fs", st.UptimeSec))
+	for _, p := range st.JobPhases {
+		mean := 0.0
+		if p.Count > 0 {
+			mean = p.TotalSec / float64(p.Count) * 1e3
+		}
+		t.AddRow("phase "+p.Phase,
+			fmt.Sprintf("n=%d total=%.3fs mean=%.2fms", p.Count, p.TotalSec, mean))
+	}
 	return t.Render(out)
 }
 

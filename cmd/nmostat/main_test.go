@@ -305,4 +305,17 @@ func TestRemoteStats(t *testing.T) {
 	if !strings.Contains(squeezed, "cache entries 1") {
 		t.Errorf("cache entries not reported:\n%s", out)
 	}
+	// The observability rows: process uptime plus one row per job
+	// lifecycle phase, each carrying the single run's observation.
+	if !strings.Contains(out, "uptime") {
+		t.Errorf("uptime row missing:\n%s", out)
+	}
+	for _, phase := range []string{"cache_lookup", "queue_wait", "run", "digest", "spill"} {
+		if !strings.Contains(out, "phase "+phase) {
+			t.Errorf("phase row %q missing:\n%s", phase, out)
+		}
+	}
+	if !strings.Contains(squeezed, "phase run n=1") {
+		t.Errorf("run phase should have one observation:\n%s", out)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nmo/internal/obs"
 	"nmo/internal/service"
 	"nmo/internal/zerocopy"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	// /v1/stats fan-out. Probes hit each member's /v1/stats.
 	ProbeEvery   time.Duration
 	ProbeTimeout time.Duration
+	// Audit is the gateway's JSONL audit sink (nil: no auditing). The
+	// gateway audits the HTTP edge; job transitions are audited by the
+	// shard that runs them, joined by the shared request ID.
+	Audit *obs.AuditLog
 }
 
 // member is one shard in the registry: its client, plus the health
@@ -88,6 +93,8 @@ type Gateway struct {
 	mux     *http.ServeMux
 	httpc   *http.Client
 	zc      *zerocopy.Counters
+	reg     *obs.Registry
+	httpm   *obs.HTTPMetrics
 
 	probeEvery   time.Duration
 	probeTimeout time.Duration
@@ -128,7 +135,11 @@ func New(cfg Config) (*Gateway, error) {
 		probeTimeout: cfg.ProbeTimeout,
 		stop:         make(chan struct{}),
 		zc:           new(zerocopy.Counters),
+		reg:          obs.NewRegistry(),
 	}
+	obs.RegisterBuildInfo(g.reg)
+	service.RegisterDataPlane(g.reg, g.zc)
+	g.httpm = obs.NewHTTPMetrics(g.reg, cfg.Audit)
 	for _, addr := range cfg.Members {
 		c := service.NewClient(addr)
 		if g.byBase[c.Base] != nil {
@@ -142,17 +153,25 @@ func New(cfg Config) (*Gateway, error) {
 		g.ring.Add(c.Base)
 	}
 
-	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
-	g.mux.HandleFunc("GET /v1/jobs/{id}", g.jobProxy(""))
-	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.jobProxy(""))
-	g.mux.HandleFunc("GET /v1/jobs/{id}/result", g.jobProxy("/result"))
-	g.mux.HandleFunc("GET /v1/jobs/{id}/trace", g.jobProxy("/trace"))
-	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
-	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	g.route("POST /v1/jobs", g.handleSubmit)
+	g.route("GET /v1/jobs/{id}", g.jobProxy(""))
+	g.route("DELETE /v1/jobs/{id}", g.jobProxy(""))
+	g.route("GET /v1/jobs/{id}/result", g.jobProxy("/result"))
+	g.route("GET /v1/jobs/{id}/trace", g.jobProxy("/trace"))
+	g.route("GET /v1/stats", g.handleStats)
+	g.route("GET /v1/healthz", g.handleHealthz)
+	g.route("GET /metrics", obs.Handler(g.reg).ServeHTTP)
 
 	g.wg.Add(1)
 	go g.probeLoop()
 	return g, nil
+}
+
+// route mounts a handler behind the gateway's metrics middleware,
+// using the mux pattern as the route label — the same convention the
+// shard server uses, so fleet dashboards join on identical labels.
+func (g *Gateway) route(pattern string, fn http.HandlerFunc) {
+	g.mux.Handle(pattern, g.httpm.Wrap(pattern, fn))
 }
 
 // Close stops the probe loop and drops the pooled upstream conns.
@@ -334,6 +353,7 @@ func (g *Gateway) submitTo(w http.ResponseWriter, r *http.Request, m *member, bo
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -400,6 +420,7 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 		service.WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
+	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -555,7 +576,11 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		fleet.ZcFallbackBytes += st.ZcFallbackBytes
 		fleet.TraceClientAborts += st.TraceClientAborts
 		fleet.TraceServeErrors += st.TraceServeErrors
+		fleet.JobPhases = mergePhases(fleet.JobPhases, st.JobPhases)
 	}
+	// Uptime is this gateway's own clock — summing member uptimes
+	// would produce a meaningless "fleet-seconds" figure.
+	fleet.UptimeSec = obs.Uptime()
 	// The gateway is a data-plane hop of its own: its splice/relay
 	// bytes fold into the same inline counters (shards sendfile,
 	// the gateway splices — both visible in one fleet view).
@@ -565,6 +590,27 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	fleet.TraceClientAborts += g.zc.ClientAborts()
 	fleet.TraceServeErrors += g.zc.Errors()
 	service.WriteJSON(w, http.StatusOK, fleet)
+}
+
+// mergePhases accumulates one member's phase summary into the fleet
+// totals, matching rows by phase name so shards running different
+// builds (or none) merge cleanly.
+func mergePhases(acc, add []service.PhaseStat) []service.PhaseStat {
+	for _, p := range add {
+		found := false
+		for i := range acc {
+			if acc[i].Phase == p.Phase {
+				acc[i].Count += p.Count
+				acc[i].TotalSec += p.TotalSec
+				found = true
+				break
+			}
+		}
+		if !found {
+			acc = append(acc, p)
+		}
+	}
+	return acc
 }
 
 // handleHealthz is healthy while at least one shard is: the fleet

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"nmo/internal/obs"
 	"nmo/internal/zerocopy"
 )
 
@@ -113,6 +114,7 @@ func (g *Gateway) spliceProxy(w http.ResponseWriter, r *http.Request, m *member,
 	if err != nil {
 		return false
 	}
+	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
 	for attempt := 0; attempt < 2; attempt++ {
 		uc, err := m.getConn(attempt > 0)
 		if err != nil {

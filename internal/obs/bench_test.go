@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkMetricsOverhead prices the middleware: the same handler
+// bare vs wrapped, driven through the in-process ServeHTTP path so the
+// delta is pure instrumentation (request-ID mint, recorder, atomics,
+// deferred record), not network noise. The CI watchlist gates on it.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	run := func(b *testing.B, h http.Handler) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, handler) })
+	b.Run("instrumented", func(b *testing.B) {
+		m := NewHTTPMetrics(NewRegistry(), nil)
+		run(b, m.Wrap("GET /v1/healthz", handler))
+	})
+}
+
+// BenchmarkObserve prices the raw instruments' hot paths.
+func BenchmarkObserve(b *testing.B) {
+	reg := NewRegistry()
+	b.Run("counter", func(b *testing.B) {
+		c := reg.Counter("bench_total", "")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram", func(b *testing.B) {
+		h := reg.Histogram("bench_seconds", "", LatencyBuckets)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Observe(0.0042)
+			}
+		})
+	})
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader carries the request ID across tiers: minted at the
+// outermost hop (the gateway, or the shard for direct clients),
+// echoed on every response, and forwarded on every proxied upstream
+// request — so one ID follows a job from the client's POST through
+// gateway → shard → job record → audit line.
+const RequestIDHeader = "X-Nmo-Request-Id"
+
+type reqIDKey struct{}
+
+// WithRequestID attaches a request ID to a context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request ID ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// NewRequestID mints a random request ID (r + 16 hex chars).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "r" + hex.EncodeToString(b[:])
+}

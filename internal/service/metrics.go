@@ -1,0 +1,102 @@
+package service
+
+import (
+	"time"
+
+	"nmo/internal/obs"
+	"nmo/internal/zerocopy"
+)
+
+// JobPhaseNames are the lifecycle phases every job's timing breakdown
+// covers, in execution order: content-address resolution + cache
+// admission, the wait for a scheduler worker, the engine batch, the
+// result digestion, and the cache fill (which may spill to disk).
+// Each completed phase is observed into the nmo_job_phase_seconds
+// histogram and recorded on the job itself (GET /v1/jobs/{id}).
+var JobPhaseNames = []string{"cache_lookup", "queue_wait", "run", "digest", "spill"}
+
+// Metrics is the daemon's observability bundle: one obs.Registry that
+// backs both GET /metrics and the counter fields of GET /v1/stats —
+// the same atomic words rendered two ways, so the views cannot drift
+// — plus the HTTP middleware and the optional JSONL audit sink.
+//
+// The scheduler's former ad-hoc atomics (submitted/rejected/engine
+// runs) live here as registry-owned counters; the cache tiers and the
+// zero-copy data plane join as func-backed metrics read at scrape
+// time from their existing atomics.
+type Metrics struct {
+	Reg   *obs.Registry
+	HTTP  *obs.HTTPMetrics
+	Audit *obs.AuditLog
+
+	Submitted  *obs.Counter
+	Rejected   *obs.Counter
+	EngineRuns *obs.Counter
+
+	phases map[string]*obs.Histogram
+}
+
+// NewMetrics builds a registry pre-populated with the daemon's job
+// counters, phase histograms, and build-info metrics. audit may be
+// nil (no audit sink).
+func NewMetrics(audit *obs.AuditLog) *Metrics {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	m := &Metrics{
+		Reg:   reg,
+		HTTP:  obs.NewHTTPMetrics(reg, audit),
+		Audit: audit,
+		Submitted: reg.Counter("nmo_jobs_submitted_total",
+			"Job submissions admitted (cache hits and coalesced included)."),
+		Rejected: reg.Counter("nmo_jobs_rejected_total",
+			"Job submissions rejected (bad spec, queue full, shutting down)."),
+		EngineRuns: reg.Counter("nmo_engine_runs_total",
+			"Engine batch executions — what the content-addressed cache deduplicates."),
+		phases: make(map[string]*obs.Histogram, len(JobPhaseNames)),
+	}
+	for _, p := range JobPhaseNames {
+		m.phases[p] = reg.Histogram("nmo_job_phase_seconds",
+			"Job lifecycle phase durations.", obs.PhaseBuckets, obs.L("phase", p))
+	}
+	return m
+}
+
+// ObservePhase records one completed job phase into its histogram.
+func (m *Metrics) ObservePhase(phase string, d time.Duration) {
+	if h := m.phases[phase]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// PhaseStats summarizes the phase histograms for /v1/stats and
+// `nmostat -stats`: per-phase observation count and total seconds (so
+// a mean is one division away), in JobPhaseNames order.
+func (m *Metrics) PhaseStats() []PhaseStat {
+	out := make([]PhaseStat, 0, len(JobPhaseNames))
+	for _, p := range JobPhaseNames {
+		h := m.phases[p]
+		out = append(out, PhaseStat{Phase: p, Count: h.Count(), TotalSec: h.Sum()})
+	}
+	return out
+}
+
+// RegisterDataPlane folds a zerocopy.Counters into a registry as
+// func-backed metrics: the three byte paths of the trace data plane
+// (they sum to total trace bytes served) and the terminal copy
+// outcome classification. Shared by the shard server and the gateway
+// — each tier registers its own counters into its own registry.
+func RegisterDataPlane(reg *obs.Registry, zc *zerocopy.Counters) {
+	reg.CounterFunc("nmo_zc_bytes_total",
+		"Trace body bytes moved, by data-plane path (sendfile/splice/fallback).",
+		func() float64 { return float64(zc.SendfileBytes()) }, obs.L("path", "sendfile"))
+	reg.CounterFunc("nmo_zc_bytes_total", "",
+		func() float64 { return float64(zc.SpliceBytes()) }, obs.L("path", "splice"))
+	reg.CounterFunc("nmo_zc_bytes_total", "",
+		func() float64 { return float64(zc.FallbackBytes()) }, obs.L("path", "fallback"))
+	reg.CounterFunc("nmo_trace_client_aborts_total",
+		"Trace serves cut short by the client going away.",
+		func() float64 { return float64(zc.ClientAborts()) })
+	reg.CounterFunc("nmo_trace_serve_errors_total",
+		"Trace serves broken by a disk or upstream failure.",
+		func() float64 { return float64(zc.Errors()) })
+}

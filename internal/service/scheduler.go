@@ -8,11 +8,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"nmo/internal/analysis"
 	"nmo/internal/core"
 	"nmo/internal/engine"
+	"nmo/internal/obs"
 	"nmo/internal/postproc"
 	"nmo/internal/report"
 	"nmo/internal/sampler"
@@ -44,6 +45,10 @@ type SchedConfig struct {
 	// resubmission is a cache hit. Without the bound a long-running
 	// daemon would pin every job's trace blobs forever.
 	MaxJobs int
+	// Metrics is the observability bundle the scheduler counts into
+	// (nil: a fresh private one, so embedded/test schedulers are fully
+	// instrumented without wiring).
+	Metrics *Metrics
 }
 
 // ErrQueueFull rejects submissions when the queue is at capacity.
@@ -62,15 +67,20 @@ type Job struct {
 	Key      string
 	Priority int
 	seq      uint64
+	reqID    string        // request ID of the admitting submission
+	audit    *obs.AuditLog // transition sink (nil-safe)
 
 	rs    []resolved
 	kinds []sampler.Kind // distinct backends (admission resources)
 	entry *entry         // cache slot this job serves from / fills
 
+	enqueued time.Time // leader enqueue instant (queue-wait phase)
+
 	mu     sync.Mutex
 	state  JobState
 	cached bool
 	errMsg string
+	phases JobPhases          // completed-phase timings
 	cancel context.CancelFunc // set while running (leaders only)
 	art    *JobArtifacts      // set when done
 }
@@ -79,10 +89,31 @@ type Job struct {
 func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobInfo{
+	info := JobInfo{
 		ID: j.ID, State: j.state, Key: j.Key, Priority: j.Priority,
 		Cached: j.cached, Scenarios: len(j.rs), Error: j.errMsg,
+		RequestID: j.reqID,
 	}
+	if j.phases != (JobPhases{}) {
+		p := j.phases
+		info.Phases = &p
+	}
+	return info
+}
+
+// setPhase records one completed phase's duration on the job record.
+func (j *Job) setPhase(fn func(*JobPhases)) {
+	j.mu.Lock()
+	fn(&j.phases)
+	j.mu.Unlock()
+}
+
+// auditState logs a job lifecycle transition to the audit sink.
+func (j *Job) auditState(state, errMsg string) {
+	j.audit.Log(obs.Event{
+		Kind: "job", Job: j.ID, Key: j.Key, ReqID: j.reqID,
+		State: state, Error: errMsg,
+	})
 }
 
 // Artifacts returns the job's results once done (nil before).
@@ -102,11 +133,13 @@ func (j *Job) setState(s JobState) {
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state.
+// finish moves the job to a terminal state. The audit line is written
+// after the lock is released — the sink serializes on its own mutex
+// and must not nest inside j.mu.
 func (j *Job) finish(art *JobArtifacts, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.cancel = nil
@@ -118,10 +151,13 @@ func (j *Job) finish(art *JobArtifacts, err error) {
 			j.state = StateFailed
 			j.errMsg = err.Error()
 		}
-		return
+	} else {
+		j.state = StateDone
+		j.art = art
 	}
-	j.state = StateDone
-	j.art = art
+	state, errMsg := string(j.state), j.errMsg
+	j.mu.Unlock()
+	j.auditState(state, errMsg)
 }
 
 // Scheduler admits, queues, and executes jobs on a bounded worker
@@ -132,6 +168,7 @@ func (j *Job) finish(art *JobArtifacts, err error) {
 type Scheduler struct {
 	cfg   SchedConfig
 	cache *Cache
+	m     *Metrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -150,10 +187,6 @@ type Scheduler struct {
 	baseCancel context.CancelFunc
 
 	wg sync.WaitGroup
-
-	submitted  atomic.Uint64
-	rejected   atomic.Uint64
-	engineRuns atomic.Uint64
 }
 
 // NewScheduler starts the worker pool.
@@ -170,13 +203,17 @@ func NewScheduler(cfg SchedConfig, cache *Cache) *Scheduler {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
 	if cache == nil {
 		cache, _ = NewCache(CacheConfig{}) // memory-only: never errors
 	}
-	s := &Scheduler{cfg: cfg, cache: cache, jobs: make(map[string]*Job),
-		running: make(map[sampler.Kind]int)}
+	s := &Scheduler{cfg: cfg, cache: cache, m: cfg.Metrics,
+		jobs: make(map[string]*Job), running: make(map[sampler.Kind]int)}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.cond = sync.NewCond(&s.mu)
+	s.registerGauges()
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()
@@ -184,21 +221,63 @@ func NewScheduler(cfg SchedConfig, cache *Cache) *Scheduler {
 	return s
 }
 
+// registerGauges folds the scheduler's occupancy and the cache's
+// counters into the registry as func-backed metrics, read at scrape
+// time from the same state /v1/stats snapshots — one source of truth
+// for both views.
+func (s *Scheduler) registerGauges() {
+	reg := s.m.Reg
+	reg.GaugeFunc("nmo_queue_depth", "Jobs waiting for a scheduler worker.",
+		func() float64 { q, _ := s.occupancy(); return float64(q) })
+	reg.GaugeFunc("nmo_jobs_running", "Jobs executing on scheduler workers.",
+		func() float64 { _, r := s.occupancy(); return float64(r) })
+	reg.CounterFunc("nmo_cache_hits_total",
+		"Submissions answered by a completed cache entry.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("nmo_cache_coalesced_total",
+		"Submissions attached to an identical in-flight job.",
+		func() float64 { return float64(s.cache.Stats().Coalesced) })
+	reg.CounterFunc("nmo_cache_evictions_total", "Cache entries evicted.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.CounterFunc("nmo_cache_demotions_total", "Blobs demoted memory→disk.",
+		func() float64 { return float64(s.cache.Stats().Demotions) })
+	reg.CounterFunc("nmo_cache_promotions_total", "Blobs promoted disk→memory.",
+		func() float64 { return float64(s.cache.Stats().Promotions) })
+	reg.GaugeFunc("nmo_cache_entries", "Cache entries resident.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("nmo_cache_bytes", "Cache tier occupancy in bytes.",
+		func() float64 { return float64(s.cache.Stats().BytesMem) }, obs.L("tier", "mem"))
+	reg.GaugeFunc("nmo_cache_bytes", "",
+		func() float64 { return float64(s.cache.Stats().BytesDisk) }, obs.L("tier", "disk"))
+}
+
+// occupancy snapshots the queue depth and running-job count.
+func (s *Scheduler) occupancy() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.nRun
+}
+
+// Metrics returns the scheduler's observability bundle — the server
+// layer mounts its registry at /metrics and reuses its HTTP
+// middleware and audit sink.
+func (s *Scheduler) Metrics() *Metrics { return s.m }
+
 // EngineRuns returns the number of engine batch executions — the
 // counter the cache's no-duplicate-simulation guarantee is tested
 // against.
-func (s *Scheduler) EngineRuns() uint64 { return s.engineRuns.Load() }
+func (s *Scheduler) EngineRuns() uint64 { return s.m.EngineRuns.Value() }
 
-// Stats snapshots the scheduler and cache counters.
+// Stats snapshots the scheduler and cache counters. Every field is
+// read from the same instrument or atomic the /metrics exposition
+// renders, so the JSON and Prometheus views agree by construction.
 func (s *Scheduler) Stats() SchedStats {
 	cs := s.cache.Stats()
-	s.mu.Lock()
-	queued, running := len(s.queue), s.nRun
-	s.mu.Unlock()
+	queued, running := s.occupancy()
 	return SchedStats{
-		Submitted:       s.submitted.Load(),
-		Rejected:        s.rejected.Load(),
-		EngineRuns:      s.engineRuns.Load(),
+		Submitted:       s.m.Submitted.Value(),
+		Rejected:        s.m.Rejected.Value(),
+		EngineRuns:      s.m.EngineRuns.Value(),
 		CacheHits:       cs.Hits,
 		Coalesced:       cs.Coalesced,
 		CacheEntries:    cs.Entries,
@@ -209,6 +288,8 @@ func (s *Scheduler) Stats() SchedStats {
 		CachePromotions: cs.Promotions,
 		Queued:          queued,
 		Running:         running,
+		UptimeSec:       obs.Uptime(),
+		JobPhases:       s.m.PhaseStats(),
 	}
 }
 
@@ -216,20 +297,30 @@ func (s *Scheduler) Stats() SchedStats {
 // already terminal for cache hits; coalesced and queued jobs complete
 // asynchronously (watch Done / poll Info).
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitReq(spec, "")
+}
+
+// SubmitReq is Submit carrying the request ID of the admitting HTTP
+// request, which is stamped on the job record and every audit line it
+// emits. The resolve+admission span is recorded as the job's
+// cache_lookup phase.
+func (s *Scheduler) SubmitReq(spec JobSpec, reqID string) (*Job, error) {
+	admitStart := time.Now()
 	rs, key, err := resolveJob(spec)
 	if err != nil {
-		s.rejected.Add(1)
+		s.m.Rejected.Inc()
 		return nil, err
 	}
 	job := &Job{
 		ID: newID(), Key: key, Priority: spec.Priority,
+		reqID: reqID, audit: s.m.Audit,
 		rs: rs, kinds: backends(rs), state: StateQueued,
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.rejected.Add(1)
+		s.m.Rejected.Inc()
 		return nil, errShutdown
 	}
 	e, leader := s.cache.Acquire(key)
@@ -240,13 +331,14 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		// to the entry before the abort lands.
 		s.cache.Abort(e, ErrQueueFull)
 		s.mu.Unlock()
-		s.rejected.Add(1)
+		s.m.Rejected.Inc()
 		return nil, ErrQueueFull
 	}
-	s.submitted.Add(1)
+	s.m.Submitted.Inc()
 	s.seq++
 	job.seq = s.seq
 	job.cached = !leader // job not yet published; no lock needed
+	job.enqueued = admitStart
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job)
 	s.pruneLocked()
@@ -254,6 +346,12 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.enqueueLocked(job)
 		s.cond.Signal()
 		s.mu.Unlock()
+		// The job is visible to workers once s.mu drops: record the
+		// phase under j.mu like every later phase write.
+		lookup := time.Since(admitStart)
+		job.setPhase(func(p *JobPhases) { p.CacheLookupSec = lookup.Seconds() })
+		s.m.ObservePhase("cache_lookup", lookup)
+		job.auditState("queued", "")
 		return job, nil
 	}
 	// Coalescing onto a *queued* leader: the attached submission's
@@ -271,6 +369,11 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		}
 	}
 	s.mu.Unlock()
+
+	lookup := time.Since(admitStart)
+	job.setPhase(func(p *JobPhases) { p.CacheLookupSec = lookup.Seconds() })
+	s.m.ObservePhase("cache_lookup", lookup)
+	job.auditState("cached", "")
 
 	// Cache hit or coalesce: the leader's outcome completes this job.
 	select {
@@ -378,6 +481,9 @@ func (s *Scheduler) Cancel(id string) error {
 		// pop-to-run window.
 		j.state = StateCanceled
 		j.errMsg = ErrCanceled.Error()
+		j.mu.Unlock()
+		j.auditState(string(StateCanceled), ErrCanceled.Error())
+		return nil
 	}
 	j.mu.Unlock()
 	return nil
@@ -510,24 +616,34 @@ func (s *Scheduler) runJob(job *Job) {
 		return
 	}
 	job.state = StateRunning
+	wait := time.Since(job.enqueued)
+	job.phases.QueueWaitSec = wait.Seconds()
 	job.cancel = cancel
 	job.mu.Unlock()
 	defer cancel()
+	s.m.ObservePhase("queue_wait", wait)
+	job.auditState("running", "")
 
-	art, err := s.execute(ctx, job.rs)
+	art, err := s.execute(ctx, job)
 	if err != nil {
 		s.cache.Abort(job.entry, err)
 		job.finish(nil, err)
 		return
 	}
+	spillStart := time.Now()
 	s.cache.Fill(job.entry, art)
+	spill := time.Since(spillStart)
+	job.setPhase(func(p *JobPhases) { p.SpillSec = spill.Seconds() })
+	s.m.ObservePhase("spill", spill)
 	job.finish(art, nil)
 }
 
 // execute runs the resolved scenarios as one engine batch, streaming
 // each sampling scenario's trace into an in-memory v2 blob, and
-// digests the results into servable artifacts.
-func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, error) {
+// digests the results into servable artifacts. The engine span and
+// the digest pass are recorded as the job's run and digest phases.
+func (s *Scheduler) execute(ctx context.Context, job *Job) (*JobArtifacts, error) {
+	rs := job.rs
 	scs := make([]engine.Scenario, len(rs))
 	bufs := make([]*bytes.Buffer, len(rs))
 	for i := range rs {
@@ -561,9 +677,14 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 		}
 	}
 
-	s.engineRuns.Add(1)
+	s.m.EngineRuns.Inc()
+	runStart := time.Now()
 	results := engine.Runner{Jobs: s.cfg.EngineJobs}.RunAllContext(ctx, scs)
+	run := time.Since(runStart)
+	job.setPhase(func(p *JobPhases) { p.RunSec = run.Seconds() })
+	s.m.ObservePhase("run", run)
 
+	digestStart := time.Now()
 	art := &JobArtifacts{Traces: make([]*TraceBlob, len(rs))}
 	for i, res := range results {
 		if res.Err != nil {
@@ -582,6 +703,9 @@ func (s *Scheduler) execute(ctx context.Context, rs []resolved) (*JobArtifacts, 
 		art.Doc.Scenarios = append(art.Doc.Scenarios, sr)
 		art.Traces[i] = blob
 	}
+	dig := time.Since(digestStart)
+	job.setPhase(func(p *JobPhases) { p.DigestSec = dig.Seconds() })
+	s.m.ObservePhase("digest", dig)
 	return art, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"nmo/internal/obs"
 	"nmo/internal/trace"
 	"nmo/internal/zerocopy"
 )
@@ -34,21 +35,35 @@ type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
 	zc    *zerocopy.Counters
+	m     *Metrics
 }
 
-// NewServer wires a scheduler into an HTTP handler.
+// NewServer wires a scheduler into an HTTP handler. Every route runs
+// behind the scheduler's metrics middleware (request counts, latency
+// and size histograms, request-ID boundary, audit lines), and the
+// backing registry is exposed at GET /metrics — including this
+// server's zero-copy data-plane counters.
 func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux(), zc: new(zerocopy.Counters)}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s := &Server{sched: sched, mux: http.NewServeMux(),
+		zc: new(zerocopy.Counters), m: sched.Metrics()}
+	RegisterDataPlane(s.m.Reg, s.zc)
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs/{id}", s.handleStatus)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	s.route("GET /metrics", obs.Handler(s.m.Reg).ServeHTTP)
 	return s
+}
+
+// route mounts a handler behind the metrics middleware, using the mux
+// pattern itself as the bounded-cardinality route label.
+func (s *Server) route(pattern string, fn http.HandlerFunc) {
+	s.mux.Handle(pattern, s.m.HTTP.Wrap(pattern, fn))
 }
 
 // ServeHTTP implements http.Handler.
@@ -75,7 +90,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
-	job, err := s.sched.Submit(spec)
+	job, err := s.sched.SubmitReq(spec, obs.RequestID(r.Context()))
 	if err != nil {
 		code := http.StatusBadRequest
 		if err == ErrQueueFull {

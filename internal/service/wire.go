@@ -157,6 +157,36 @@ type JobInfo struct {
 	Scenarios int `json:"scenarios"`
 	// Error is the failure cause for failed/canceled jobs.
 	Error string `json:"error,omitempty"`
+	// RequestID is the ID of the HTTP request that admitted the job —
+	// minted at the outermost hop (gateway, or shard for direct
+	// submissions) and stamped on every audit line the job emits, so
+	// one grep follows a request across tiers.
+	RequestID string `json:"request_id,omitempty"`
+	// Phases is the job's lifecycle timing breakdown; fields fill in as
+	// the job progresses and are all set once it is done.
+	Phases *JobPhases `json:"phases,omitempty"`
+}
+
+// JobPhases is one job's lifecycle timing breakdown, in seconds:
+// content-address resolution + cache admission, the wait for a
+// scheduler worker, the engine batch, the result digestion, and the
+// cache fill. Cache-served jobs only have the lookup phase.
+type JobPhases struct {
+	CacheLookupSec float64 `json:"cache_lookup_sec,omitempty"`
+	QueueWaitSec   float64 `json:"queue_wait_sec,omitempty"`
+	RunSec         float64 `json:"run_sec,omitempty"`
+	DigestSec      float64 `json:"digest_sec,omitempty"`
+	SpillSec       float64 `json:"spill_sec,omitempty"`
+}
+
+// PhaseStat is one phase's fleet-level summary inside SchedStats:
+// observation count and total seconds across all jobs (mean = total /
+// count), mirroring the nmo_job_phase_seconds histogram's _count and
+// _sum.
+type PhaseStat struct {
+	Phase    string  `json:"phase"`
+	Count    uint64  `json:"count"`
+	TotalSec float64 `json:"total_sec"`
 }
 
 // ScenarioResult is one scenario's digest inside a ResultDoc.
@@ -247,6 +277,12 @@ type SchedStats struct {
 	ZcFallbackBytes   int64  `json:"zc_fallback_bytes"`
 	TraceClientAborts uint64 `json:"trace_client_aborts"`
 	TraceServeErrors  uint64 `json:"trace_serve_errors"`
+	// UptimeSec is seconds since this process started (a gateway
+	// reports its own uptime, not a sum over shards).
+	UptimeSec float64 `json:"uptime_sec"`
+	// JobPhases summarizes the job lifecycle phase histograms — the
+	// JSON twin of nmo_job_phase_seconds.
+	JobPhases []PhaseStat `json:"job_phases,omitempty"`
 }
 
 // MemberStats is one shard's row in a gateway's fleet stats view.
