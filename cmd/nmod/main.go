@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"nmo/internal/auth"
 	"nmo/internal/obs"
 	"nmo/internal/sampler"
 	"nmo/internal/service"
@@ -62,20 +63,31 @@ func main() {
 		"append-only JSONL audit file: one event per HTTP request and job transition (default $NMO_AUDIT_LOG; empty = off)")
 	debugAddr := flag.String("debug-addr", "",
 		"private listen address serving net/http/pprof under /debug/pprof/ (empty = off)")
+	authMode := flag.String("auth-mode", "none",
+		"request authentication: none (dev X-Nmo-Tenant header tenancy) or jwt (HS256 bearer tokens)")
+	authKeyFile := flag.String("auth-hmac-key-file", "",
+		"file holding the HS256 verification key (required for -auth-mode jwt; also verifies the gateway's signed tenant header)")
+	quotasFile := flag.String("tenant-quotas", "",
+		"JSON tenant quota table: fair-share weights, rate limits, max in-flight (empty = unlimited)")
 	flag.Parse()
 
+	acfg, err := auth.LoadConfig(*authMode, *authKeyFile, *quotasFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nmod:", err)
+		os.Exit(1)
+	}
 	ccfg := service.CacheConfig{
 		Dir:        *cacheDir,
 		MemBudget:  int64(*cacheMemMiB) << 20,
 		DiskBudget: int64(*cacheDiskMiB) << 20,
 	}
-	if err := run(*addr, *workers, *queueCap, *engineJobs, *backendSlots, ccfg, *auditLog, *debugAddr); err != nil {
+	if err := run(*addr, *workers, *queueCap, *engineJobs, *backendSlots, ccfg, acfg, *auditLog, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg service.CacheConfig, auditLog, debugAddr string) error {
+func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg service.CacheConfig, acfg auth.Config, auditLog, debugAddr string) error {
 	var audit *obs.AuditLog
 	if auditLog != "" {
 		var err error
@@ -96,6 +108,7 @@ func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg serv
 		QueueCap:   queueCap,
 		EngineJobs: engineJobs,
 		Metrics:    service.NewMetrics(audit),
+		Quotas:     acfg.Quotas,
 	}
 	if backendSlots > 0 {
 		cfg.BackendSlots = map[sampler.Kind]int{}
@@ -115,7 +128,11 @@ func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg serv
 	// sendfile(2) instead of the pooled copy, and ConnContext lets the
 	// trace handler pick the right serve tier per request. Counters
 	// are shared with the handler so /v1/stats sees both sides.
-	h := service.NewServer(sched)
+	mw, err := auth.NewMiddleware(acfg)
+	if err != nil {
+		return err
+	}
+	h := service.NewServer(sched, service.WithAuth(mw))
 	srv := &http.Server{Addr: addr, Handler: h, ConnContext: zerocopy.ConnContext}
 
 	ln, err := net.Listen("tcp", addr)
@@ -133,8 +150,8 @@ func run(addr string, workers, queueCap, engineJobs, backendSlots int, ccfg serv
 	if ccfg.Dir != "" {
 		tier = "spill dir " + ccfg.Dir
 	}
-	fmt.Printf("nmod: listening on %s (%d workers, engine-jobs %d, queue %d, cache %s)\n",
-		addr, workers, engineJobs, queueCap, tier)
+	fmt.Printf("nmod: listening on %s (%d workers, engine-jobs %d, queue %d, cache %s, auth %s)\n",
+		addr, workers, engineJobs, queueCap, tier, acfg.Mode)
 
 	select {
 	case err := <-errc:

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"nmo/internal/auth"
 	"nmo/internal/gateway"
 	"nmo/internal/obs"
 	"nmo/internal/zerocopy"
@@ -46,15 +47,26 @@ func main() {
 		"append-only JSONL audit file: one event per HTTP request at the gateway edge (default $NMO_AUDIT_LOG; empty = off)")
 	debugAddr := flag.String("debug-addr", "",
 		"private listen address serving net/http/pprof under /debug/pprof/ (empty = off)")
+	authMode := flag.String("auth-mode", "none",
+		"request authentication: none (dev X-Nmo-Tenant header tenancy) or jwt (HS256 bearer tokens)")
+	authKeyFile := flag.String("auth-hmac-key-file", "",
+		"file holding the HS256 verification key (required for -auth-mode jwt; also signs the tenant header forwarded to shards)")
+	quotasFile := flag.String("tenant-quotas", "",
+		"JSON tenant quota table: fair-share weights, rate limits, max in-flight (empty = unlimited)")
 	flag.Parse()
 
-	if err := run(*addr, *members, *replicas, *probe, *auditLog, *debugAddr); err != nil {
+	acfg, err := auth.LoadConfig(*authMode, *authKeyFile, *quotasFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nmogw:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *members, *replicas, *probe, acfg, *auditLog, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nmogw:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, members string, replicas int, probe time.Duration, auditLog, debugAddr string) error {
+func run(addr, members string, replicas int, probe time.Duration, acfg auth.Config, auditLog, debugAddr string) error {
 	var list []string
 	for _, m := range strings.Split(members, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -81,6 +93,7 @@ func run(addr, members string, replicas int, probe time.Duration, auditLog, debu
 		Replicas:   replicas,
 		ProbeEvery: probe,
 		Audit:      audit,
+		Auth:       acfg,
 	})
 	if err != nil {
 		return err
@@ -99,8 +112,8 @@ func run(addr, members string, replicas int, probe time.Duration, auditLog, debu
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(zerocopy.WrapListener(ln, gw.ZeroCopy())) }()
-	fmt.Printf("nmogw: listening on %s, routing %d members (%d vnodes each, probe %s)\n",
-		addr, len(list), replicas, probe)
+	fmt.Printf("nmogw: listening on %s, routing %d members (%d vnodes each, probe %s, auth %s)\n",
+		addr, len(list), replicas, probe, acfg.Mode)
 
 	select {
 	case err := <-errc:

@@ -74,15 +74,17 @@ func main() {
 	remote := flag.String("remote", "",
 		"submit to an nmod daemon at this address instead of simulating locally")
 	priority := flag.Int("priority", 0, "remote mode: job priority (higher runs first)")
+	token := flag.String("token", os.Getenv("NMO_TOKEN"),
+		"remote mode: bearer token for daemons in -auth-mode jwt (default $NMO_TOKEN)")
 	flag.Parse()
 
-	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut, *traceCompress, *remote, *priority); err != nil {
+	if err := run(*workload, *threads, *elems, *iters, *cores, *seed, *jobs, *backend, *traceOut, *traceCompress, *remote, *priority, *token); err != nil {
 		fmt.Fprintln(os.Stderr, "nmoprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut string, traceCompress bool, remote string, priority int) error {
+func run(workload string, threads, elems, iters, cores int, seed uint64, jobs int, backend, traceOut string, traceCompress bool, remote string, priority int, token string) error {
 	cfg, err := nmo.FromEnv()
 	if err != nil {
 		return err
@@ -103,7 +105,7 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 		cfg.TraceCompress = true
 	}
 	if remote != "" {
-		return runRemote(remote, workload, threads, elems, iters, cores, seed, priority, cfg)
+		return runRemote(remote, token, workload, threads, elems, iters, cores, seed, priority, cfg)
 	}
 	if !cfg.Enable {
 		fmt.Println("NMO_ENABLE is not set; running uninstrumented (timing only).")
@@ -201,7 +203,7 @@ func run(workload string, threads, elems, iters, cores int, seed uint64, jobs in
 // -trace-out the job's v2 trace streams into the requested file(s);
 // resubmitting an identical request is a daemon cache hit and costs no
 // simulation.
-func runRemote(addr, workload string, threads, elems, iters, cores int, seed uint64, priority int, cfg nmo.Config) error {
+func runRemote(addr, token, workload string, threads, elems, iters, cores int, seed uint64, priority int, cfg nmo.Config) error {
 	if seed == 0 {
 		// The wire format uses 0 for "default seed"; submitting it
 		// would silently simulate seed 42 instead of seed 0.
@@ -253,6 +255,7 @@ func runRemote(addr, workload string, threads, elems, iters, cores int, seed uin
 	}
 
 	client := service.NewClient(addr)
+	client.Token = token
 	info, err := client.Submit(ctx, spec)
 	if err != nil {
 		return err

@@ -71,6 +71,9 @@ type options struct {
 	// Stats mode (-remote + -stats): render the daemon's (or, via a
 	// gateway, the fleet's summed) /v1/stats counters.
 	stats bool
+
+	// token is the bearer credential for daemons in -auth-mode jwt.
+	token string
 }
 
 func main() {
@@ -90,6 +93,8 @@ func main() {
 	flag.StringVar(&o.job, "job", "", "remote mode: job ID to inspect")
 	flag.StringVar(&o.scenario, "scenario", "", "remote mode: scenario name or index (default: the first)")
 	flag.BoolVar(&o.stats, "stats", false, "remote mode: print the daemon's scheduler/cache counters instead of a trace")
+	flag.StringVar(&o.token, "token", os.Getenv("NMO_TOKEN"),
+		"remote mode: bearer token for daemons in -auth-mode jwt (default $NMO_TOKEN)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -150,7 +155,9 @@ func run(out io.Writer, o options) error {
 // embeds SchedStats), so the cache tier occupancy and traffic rows are
 // fleet totals.
 func remoteStats(out io.Writer, o options) error {
-	st, err := service.NewClient(o.remote).Stats(context.Background())
+	client := service.NewClient(o.remote)
+	client.Token = o.token
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -185,6 +192,13 @@ func remoteStats(out io.Writer, o options) error {
 		t.AddRow("phase "+p.Phase,
 			fmt.Sprintf("n=%d total=%.3fs mean=%.2fms", p.Count, p.TotalSec, mean))
 	}
+	// Per-tenant fair-share rows (present when the daemon runs with a
+	// quota table or saw named tenants): weight, live occupancy, totals.
+	for _, tn := range st.Tenants {
+		t.AddRow("tenant "+tn.Tenant,
+			fmt.Sprintf("w=%d queued=%d running=%d inflight=%d submitted=%d runs=%d rejected=%d",
+				tn.Weight, tn.Queued, tn.Running, tn.InFlight, tn.Submitted, tn.EngineRuns, tn.Rejected))
+	}
 	return t.Render(out)
 }
 
@@ -198,6 +212,7 @@ func inspectRemote(out io.Writer, o options) error {
 		return fmt.Errorf("-remote needs -job <id> (submit with nmoprof -remote or curl)")
 	}
 	client := service.NewClient(o.remote)
+	client.Token = o.token
 	tmp, err := os.CreateTemp("", "nmostat-*.nmo2")
 	if err != nil {
 		return err

@@ -1,0 +1,30 @@
+package auth
+
+import "fmt"
+
+// LoadConfig resolves the three daemon auth flags (-auth-mode,
+// -auth-hmac-key-file, -tenant-quotas) into a Config, loading the key
+// and quota files and validating the combination. Shared by nmod and
+// nmogw so both daemons parse the exact same flag surface.
+func LoadConfig(mode, keyFile, quotasFile string) (Config, error) {
+	var cfg Config
+	m, err := ParseMode(mode)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Mode = m
+	if keyFile != "" {
+		if cfg.Key, err = LoadKeyFile(keyFile); err != nil {
+			return cfg, err
+		}
+	}
+	if m == ModeJWT && len(cfg.Key) == 0 {
+		return cfg, fmt.Errorf("auth: -auth-mode jwt requires -auth-hmac-key-file")
+	}
+	if quotasFile != "" {
+		if cfg.Quotas, err = LoadQuotas(quotasFile); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}

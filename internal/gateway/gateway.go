@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nmo/internal/auth"
 	"nmo/internal/obs"
 	"nmo/internal/service"
 	"nmo/internal/zerocopy"
@@ -40,6 +41,12 @@ type Config struct {
 	// gateway audits the HTTP edge; job transitions are audited by the
 	// shard that runs them, joined by the shared request ID.
 	Audit *obs.AuditLog
+	// Auth is the gateway's identity stance: mode, HS256 key, and the
+	// tenant quota table. The gateway is the terminating auth edge —
+	// it validates end-user credentials, charges per-tenant rate
+	// limits, and forwards the resolved principal to shards as a
+	// signed internal header.
+	Auth auth.Config
 }
 
 // member is one shard in the registry: its client, plus the health
@@ -90,11 +97,12 @@ type Gateway struct {
 	members []*member
 	byBase  map[string]*member
 	ring    *Ring
-	mux     *http.ServeMux
+	router  *obs.Router
 	httpc   *http.Client
 	zc      *zerocopy.Counters
 	reg     *obs.Registry
 	httpm   *obs.HTTPMetrics
+	auth    *auth.Middleware
 
 	probeEvery   time.Duration
 	probeTimeout time.Duration
@@ -119,7 +127,6 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		byBase: make(map[string]*member),
 		ring:   NewRing(cfg.Replicas),
-		mux:    http.NewServeMux(),
 		// No overall client timeout — trace bodies legitimately stream
 		// for as long as they stream — but dial and response-header
 		// timeouts turn a hung-but-connected shard into a transport
@@ -140,6 +147,10 @@ func New(cfg Config) (*Gateway, error) {
 	obs.RegisterBuildInfo(g.reg)
 	service.RegisterDataPlane(g.reg, g.zc)
 	g.httpm = obs.NewHTTPMetrics(g.reg, cfg.Audit)
+	var err error
+	if g.auth, err = auth.NewMiddleware(cfg.Auth); err != nil {
+		return nil, err
+	}
 	for _, addr := range cfg.Members {
 		c := service.NewClient(addr)
 		if g.byBase[c.Base] != nil {
@@ -153,25 +164,43 @@ func New(cfg Config) (*Gateway, error) {
 		g.ring.Add(c.Base)
 	}
 
-	g.route("POST /v1/jobs", g.handleSubmit)
-	g.route("GET /v1/jobs/{id}", g.jobProxy(""))
-	g.route("DELETE /v1/jobs/{id}", g.jobProxy(""))
-	g.route("GET /v1/jobs/{id}/result", g.jobProxy("/result"))
-	g.route("GET /v1/jobs/{id}/trace", g.jobProxy("/trace"))
-	g.route("GET /v1/stats", g.handleStats)
-	g.route("GET /v1/healthz", g.handleHealthz)
-	g.route("GET /metrics", obs.Handler(g.reg).ServeHTTP)
+	// The same route table and auth stance as the shard server: job
+	// routes behind the auth middleware (with the submission rate
+	// limit on POST), the operational read-only surface open.
+	rt := obs.NewRouter(g.httpm)
+	protect, limit := g.auth.Protect, g.auth.LimitSubmit
+	rt.HandleFunc("POST", "/v1/jobs", g.handleSubmit, protect, limit)
+	rt.HandleFunc("GET", "/v1/jobs/{id}", g.jobProxy(""), protect)
+	rt.HandleFunc("DELETE", "/v1/jobs/{id}", g.jobProxy(""), protect)
+	rt.HandleFunc("GET", "/v1/jobs/{id}/result", g.jobProxy("/result"), protect)
+	rt.HandleFunc("GET", "/v1/jobs/{id}/trace", g.jobProxy("/trace"), protect)
+	rt.HandleFunc("GET", "/v1/stats", g.handleStats)
+	rt.HandleFunc("GET", "/v1/healthz", g.handleHealthz)
+	rt.Handle("GET", "/metrics", obs.Handler(g.reg))
+	g.router = rt
 
 	g.wg.Add(1)
 	go g.probeLoop()
 	return g, nil
 }
 
-// route mounts a handler behind the gateway's metrics middleware,
-// using the mux pattern as the route label — the same convention the
-// shard server uses, so fleet dashboards join on identical labels.
-func (g *Gateway) route(pattern string, fn http.HandlerFunc) {
-	g.mux.Handle(pattern, g.httpm.Wrap(pattern, fn))
+// setTenantHeaders forwards the authenticated principal on a
+// gateway→shard hop: the tenant plus an HMAC over it when a key is
+// configured (the shard verifies the signature instead of re-parsing
+// the JWT), or the dev internal marker in keyless none mode. Either
+// way the shard sees Via "internal" and skips its own rate limiter —
+// the tenant was already charged at this edge.
+func (g *Gateway) setTenantHeaders(h http.Header, r *http.Request) {
+	p, ok := auth.PrincipalFrom(r.Context())
+	if !ok {
+		return
+	}
+	h.Set(auth.TenantHeader, p.Tenant)
+	if key := g.auth.Key(); len(key) > 0 {
+		h.Set(auth.TenantSigHeader, auth.SignTenant(key, p.Tenant))
+	} else {
+		h.Set(auth.InternalHeader, "1")
+	}
 }
 
 // Close stops the probe loop and drops the pooled upstream conns.
@@ -198,7 +227,7 @@ func (g *Gateway) ZeroCopy() *zerocopy.Counters { return g.zc }
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	g.mux.ServeHTTP(w, r)
+	g.router.ServeHTTP(w, r)
 }
 
 // probeLoop refreshes member health on a fixed cadence. One round runs
@@ -228,7 +257,10 @@ func (g *Gateway) probeOnce() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), g.probeTimeout)
 			defer cancel()
-			if _, err := m.client.Stats(ctx); err != nil {
+			// Liveness only: /v1/healthz costs the shard nothing (no
+			// stats snapshot under the scheduler lock) and needs no
+			// credentials, so probing stays cheap at any fleet size.
+			if err := m.client.Healthz(ctx); err != nil {
 				m.markDown(err)
 			} else {
 				m.markUp()
@@ -297,21 +329,21 @@ func (g *Gateway) shardIndex(m *member) int {
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxSpecBytes))
 	if err != nil {
-		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		obs.WriteError(w, r, http.StatusBadRequest, obs.CodeBadSpec, "bad job spec: "+err.Error())
 		return
 	}
 	var spec service.JobSpec
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		service.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		obs.WriteError(w, r, http.StatusBadRequest, obs.CodeBadSpec, "bad job spec: "+err.Error())
 		return
 	}
 	key, err := service.ContentAddress(spec)
 	if err != nil {
 		// The same rejection the shard would produce, without spending
 		// a network hop on a spec no member will accept.
-		service.WriteError(w, http.StatusBadRequest, err)
+		obs.WriteError(w, r, http.StatusBadRequest, obs.CodeBadSpec, err.Error())
 		return
 	}
 
@@ -338,8 +370,8 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		lastErr = err
 	}
-	service.WriteError(w, http.StatusServiceUnavailable,
-		fmt.Errorf("no reachable shard for key %.12s…: %v", key, lastErr))
+	obs.WriteError(w, r, http.StatusServiceUnavailable, obs.CodeUpstream,
+		fmt.Sprintf("no reachable shard for key %.12s…: %v", key, lastErr))
 }
 
 // submitTo forwards a submission to one member. done means a response
@@ -354,6 +386,7 @@ func (g *Gateway) submitTo(w http.ResponseWriter, r *http.Request, m *member, bo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
+	g.setTenantHeaders(req.Header, r)
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -370,7 +403,8 @@ func (g *Gateway) submitTo(w http.ResponseWriter, r *http.Request, m *member, bo
 	}
 	var info service.JobInfo
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad submit response: %v", m.base, err))
+		obs.WriteError(w, r, http.StatusBadGateway, obs.CodeUpstream,
+			fmt.Sprintf("shard %s: bad submit response: %v", m.base, err))
 		return true, nil
 	}
 	info.ID = jobID(g.shardIndex(m), info.ID)
@@ -396,7 +430,7 @@ func (g *Gateway) jobProxy(suffix string) http.HandlerFunc {
 func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string) {
 	shard, inner, err := g.splitJobID(r.PathValue("id"))
 	if err != nil {
-		service.WriteError(w, http.StatusNotFound, err)
+		obs.WriteError(w, r, http.StatusNotFound, obs.CodeNotFound, err.Error())
 		return
 	}
 	m := g.members[shard]
@@ -417,17 +451,19 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
 	if err != nil {
-		service.WriteError(w, http.StatusInternalServerError, err)
+		obs.WriteError(w, r, http.StatusInternalServerError, obs.CodeInternal, err.Error())
 		return
 	}
 	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
+	g.setTenantHeaders(req.Header, r)
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
 		}
 		m.markDown(err)
-		service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %v", m.base, err))
+		obs.WriteError(w, r, http.StatusBadGateway, obs.CodeUpstream,
+			fmt.Sprintf("shard %s unreachable: %v", m.base, err))
 		return
 	}
 	defer resp.Body.Close()
@@ -439,7 +475,8 @@ func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string
 	if resp.StatusCode == http.StatusOK && suffix == "" {
 		var info service.JobInfo
 		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-			service.WriteError(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad response: %v", m.base, err))
+			obs.WriteError(w, r, http.StatusBadGateway, obs.CodeUpstream,
+				fmt.Sprintf("shard %s: bad response: %v", m.base, err))
 			return
 		}
 		info.ID = jobID(shard, info.ID)
@@ -577,6 +614,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		fleet.TraceClientAborts += st.TraceClientAborts
 		fleet.TraceServeErrors += st.TraceServeErrors
 		fleet.JobPhases = mergePhases(fleet.JobPhases, st.JobPhases)
+		fleet.Tenants = mergeTenants(fleet.Tenants, st.Tenants)
 	}
 	// Uptime is this gateway's own clock — summing member uptimes
 	// would produce a meaningless "fleet-seconds" figure.
@@ -590,6 +628,31 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	fleet.TraceClientAborts += g.zc.ClientAborts()
 	fleet.TraceServeErrors += g.zc.Errors()
 	service.WriteJSON(w, http.StatusOK, fleet)
+}
+
+// mergeTenants accumulates one member's per-tenant rows into the
+// fleet view, matching by tenant name (the weight is a quota-file
+// constant, identical across shards; the counters sum).
+func mergeTenants(acc, add []service.TenantStat) []service.TenantStat {
+	for _, t := range add {
+		found := false
+		for i := range acc {
+			if acc[i].Tenant == t.Tenant {
+				acc[i].Queued += t.Queued
+				acc[i].Running += t.Running
+				acc[i].InFlight += t.InFlight
+				acc[i].Submitted += t.Submitted
+				acc[i].EngineRuns += t.EngineRuns
+				acc[i].Rejected += t.Rejected
+				found = true
+				break
+			}
+		}
+		if !found {
+			acc = append(acc, t)
+		}
+	}
+	return acc
 }
 
 // mergePhases accumulates one member's phase summary into the fleet
@@ -615,10 +678,11 @@ func mergePhases(acc, add []service.PhaseStat) []service.PhaseStat {
 
 // handleHealthz is healthy while at least one shard is: the fleet
 // degrades before it dies.
-func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	up := g.healthyCount()
 	if up == 0 {
-		service.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy members (%d configured)", len(g.members)))
+		obs.WriteError(w, r, http.StatusServiceUnavailable, obs.CodeUpstream,
+			fmt.Sprintf("no healthy members (%d configured)", len(g.members)))
 		return
 	}
 	fmt.Fprintf(w, "ok (%d/%d members healthy)\n", up, len(g.members))

@@ -115,6 +115,7 @@ func (g *Gateway) spliceProxy(w http.ResponseWriter, r *http.Request, m *member,
 		return false
 	}
 	req.Header.Set(obs.RequestIDHeader, obs.RequestID(r.Context()))
+	g.setTenantHeaders(req.Header, r)
 	for attempt := 0; attempt < 2; attempt++ {
 		uc, err := m.getConn(attempt > 0)
 		if err != nil {

@@ -18,6 +18,13 @@ type Event struct {
 	Kind string `json:"kind"`
 	// ReqID is the request ID that follows the work across tiers.
 	ReqID string `json:"req_id,omitempty"`
+	// Tenant is the authenticated principal the work ran as ("" before
+	// the auth layer existed, or for unauthenticated routes).
+	Tenant string `json:"tenant,omitempty"`
+	// Code is the stable envelope error code of rejected requests
+	// ("" for successes) — one grep joins a client-visible failure to
+	// its audit line.
+	Code string `json:"code,omitempty"`
 
 	// HTTP fields.
 	Method string  `json:"method,omitempty"`

@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -26,15 +27,60 @@ type HTTPMetrics struct {
 	reg      *Registry
 	audit    *AuditLog
 	inFlight *Gauge
+
+	// Per-tenant series are registered lazily the first time a tenant
+	// appears (tenants are authenticated principals, so the label set
+	// is bounded by the identity space, not by arbitrary requests).
+	// The maps cache instruments so the per-request path is one lookup,
+	// not a registry walk.
+	tmu          sync.Mutex
+	tenantReqs   map[string]*Counter // key: tenant + "\x00" + class
+	tenantBytes_ map[string]*Counter // key: tenant + "\x00" + route
 }
 
 // NewHTTPMetrics builds the middleware factory. audit may be nil.
 func NewHTTPMetrics(reg *Registry, audit *AuditLog) *HTTPMetrics {
 	return &HTTPMetrics{
-		reg:      reg,
-		audit:    audit,
-		inFlight: reg.Gauge("nmo_http_in_flight", "HTTP requests currently being served."),
+		reg:          reg,
+		audit:        audit,
+		inFlight:     reg.Gauge("nmo_http_in_flight", "HTTP requests currently being served."),
+		tenantReqs:   make(map[string]*Counter),
+		tenantBytes_: make(map[string]*Counter),
 	}
+}
+
+// tenantClass returns the tenant's request counter for one status
+// class, registering it on first use.
+func (m *HTTPMetrics) tenantClass(tenant, class string) *Counter {
+	key := tenant + "\x00" + class
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	c := m.tenantReqs[key]
+	if c == nil {
+		c = m.reg.Counter("nmo_tenant_http_requests_total",
+			"HTTP requests served, by tenant and status class.",
+			L("tenant", tenant), L("code", class))
+		m.tenantReqs[key] = c
+	}
+	return c
+}
+
+// tenantBytes returns the tenant's response-byte counter for one
+// route. On the trace route this is exactly "trace bytes served per
+// tenant" — the response recorder counts sendfile'd bytes too (its
+// ReadFrom seam returns the kernel-moved total).
+func (m *HTTPMetrics) tenantBytes(tenant, route string) *Counter {
+	key := tenant + "\x00" + route
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	c := m.tenantBytes_[key]
+	if c == nil {
+		c = m.reg.Counter("nmo_tenant_http_response_bytes_total",
+			"HTTP response body bytes, by tenant and route.",
+			L("tenant", tenant), L("route", route))
+		m.tenantBytes_[key] = c
+	}
+	return c
 }
 
 // Audit returns the middleware's audit sink (nil when none).
@@ -62,7 +108,8 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		if id == "" {
 			id = NewRequestID()
 		}
-		r = r.WithContext(WithRequestID(r.Context(), id))
+		info := &ReqInfo{}
+		r = r.WithContext(WithReqInfo(WithRequestID(r.Context(), id), info))
 		w.Header().Set(RequestIDHeader, id)
 
 		rec := responseRecorder{w: w, status: http.StatusOK}
@@ -78,10 +125,18 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 			classes[cls-1].Inc()
 			lat.Observe(d.Seconds())
 			size.Observe(float64(rec.bytes))
+			// Early-middleware rejects (auth, quota) reach here with
+			// the real status and code: the auth layer runs inside this
+			// wrapper, and WriteError stamped the code on the holder.
+			if info.Tenant != "" {
+				m.tenantClass(info.Tenant, string('1'+byte(cls-1))+"xx").Inc()
+				m.tenantBytes(info.Tenant, route).Add(uint64(rec.bytes))
+			}
 			m.audit.Log(Event{
 				Kind: "http", ReqID: id, Method: r.Method, Path: r.URL.Path,
 				Status: rec.status, Bytes: rec.bytes,
-				DurMs: float64(d.Nanoseconds()) / 1e6,
+				DurMs:  float64(d.Nanoseconds()) / 1e6,
+				Tenant: info.Tenant, Code: info.ErrCode,
 			})
 		}()
 		next.ServeHTTP(&rec, r)

@@ -1,0 +1,49 @@
+package obs
+
+import "context"
+
+// ReqInfo is the mutable per-request record the metrics middleware
+// installs in the context before the handler chain runs. Layers that
+// learn something about the request as it descends — the auth
+// middleware resolving the tenant, WriteError stamping the error code
+// — write it here, and the middleware's deferred accounting (audit
+// line, per-tenant series) reads the final values on the way back out.
+// Only the request's own goroutine touches it, so plain fields suffice.
+type ReqInfo struct {
+	// Tenant is the authenticated principal's tenant ("" before the
+	// auth layer runs, or when no auth layer is mounted).
+	Tenant string
+	// ErrCode is the envelope code of the response when the request
+	// failed ("" for successes).
+	ErrCode string
+}
+
+type reqInfoKey struct{}
+
+// WithReqInfo attaches a fresh ReqInfo holder to the context.
+func WithReqInfo(ctx context.Context, info *ReqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, info)
+}
+
+// ReqInfoFrom returns the context's holder (nil when the metrics
+// middleware is not mounted, e.g. bare handlers under test).
+func ReqInfoFrom(ctx context.Context) *ReqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*ReqInfo)
+	return info
+}
+
+// SetTenant records the request's authenticated tenant (no-op without
+// a holder).
+func SetTenant(ctx context.Context, tenant string) {
+	if info := ReqInfoFrom(ctx); info != nil {
+		info.Tenant = tenant
+	}
+}
+
+// SetErrCode records the envelope code of a failed response (no-op
+// without a holder).
+func SetErrCode(ctx context.Context, code string) {
+	if info := ReqInfoFrom(ctx); info != nil {
+		info.ErrCode = code
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Router is the small route-table helper nmod and nmogw share. It
+// exists to make the failure surface of the HTTP API as uniform as the
+// success surface: every unmatched path answers 404 with the standard
+// envelope, every matched path with a wrong verb answers 405 (with an
+// Allow header) instead of Go's bare 404, and trailing slashes
+// normalize to the canonical route instead of silently missing. All of
+// that still flows through the metrics middleware, so even "route does
+// not exist" shows up in the request counters and the audit log.
+type Router struct {
+	mux *http.ServeMux
+	m   *HTTPMetrics
+	// methods collects the verbs registered per path so the 405
+	// fallback can advertise them.
+	methods map[string][]string
+}
+
+// NewRouter builds a Router whose handlers are all wrapped by m. The
+// catch-all 404 is registered immediately; per-path 405 fallbacks are
+// registered as routes arrive.
+func NewRouter(m *HTTPMetrics) *Router {
+	rt := &Router{mux: http.NewServeMux(), m: m, methods: map[string][]string{}}
+	rt.mux.Handle("/", m.Wrap("other", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, r, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
+	})))
+	return rt
+}
+
+// Handle registers handler for one method+path, wrapped in the metrics
+// middleware under the combined pattern (the per-route label). mw
+// middlewares apply innermost-last, i.e. mw[0] runs first — and all of
+// them run inside the metrics wrapper, so early rejects (auth, quota)
+// are recorded with their real status class.
+func (rt *Router) Handle(method, path string, handler http.Handler, mw ...func(http.Handler) http.Handler) {
+	for i := len(mw) - 1; i >= 0; i-- {
+		handler = mw[i](handler)
+	}
+	pattern := method + " " + path
+	rt.mux.Handle(pattern, rt.m.Wrap(pattern, handler))
+
+	// First verb on this path: also claim the method-less pattern as
+	// the 405 fallback. Go's mux prefers "GET /x" over "/x", so the
+	// fallback only fires for unregistered verbs. {$} patterns can't
+	// take a bare-path fallback without swallowing the subtree; the
+	// root 404 covers them.
+	if !strings.Contains(path, "{$}") {
+		if _, seen := rt.methods[path]; !seen {
+			rt.mux.Handle(path, rt.m.Wrap("other", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				allow := append([]string(nil), rt.methods[path]...)
+				sort.Strings(allow)
+				w.Header().Set("Allow", strings.Join(allow, ", "))
+				WriteError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+					r.Method+" not allowed on "+path)
+			})))
+		}
+	}
+	rt.methods[path] = append(rt.methods[path], method)
+}
+
+// HandleFunc is Handle for plain funcs.
+func (rt *Router) HandleFunc(method, path string, fn http.HandlerFunc, mw ...func(http.Handler) http.Handler) {
+	rt.Handle(method, path, fn, mw...)
+}
+
+// ServeHTTP normalizes trailing slashes ("/v1/jobs/" serves as
+// "/v1/jobs" instead of 404ing) and dispatches. Only the routing view
+// of the URL is rewritten; handlers still see the canonical path.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p := r.URL.Path; len(p) > 1 && strings.HasSuffix(p, "/") {
+		trimmed := strings.TrimRight(p, "/")
+		if trimmed == "" {
+			trimmed = "/"
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = trimmed
+		if r2.URL.RawPath != "" {
+			r2.URL.RawPath = strings.TrimRight(r2.URL.RawPath, "/")
+			if r2.URL.RawPath == "" {
+				r2.URL.RawPath = "/"
+			}
+		}
+		r = r2
+	}
+	rt.mux.ServeHTTP(w, r)
+}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"nmo/internal/obs"
 )
 
 // Client is the thin Go client of the nmod job API — what the remote
@@ -19,6 +21,10 @@ import (
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// Token is the bearer credential sent on every request when
+	// non-empty (the CLIs fill it from -token / $NMO_TOKEN). Daemons
+	// in -auth-mode none ignore it.
+	Token string
 }
 
 // NewClient builds a client for a daemon address ("localhost:8077" or
@@ -38,7 +44,7 @@ func (c *Client) http() *http.Client {
 }
 
 // do issues a request and decodes the JSON response into out,
-// converting non-2xx responses (their apiError body) into errors.
+// converting non-2xx responses (their error envelope) into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
@@ -55,6 +61,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -70,15 +77,39 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// decodeErr turns a non-2xx response into an error carrying the
-// server's apiError message when one is present.
-func decodeErr(resp *http.Response) error {
-	var ae apiError
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-		return fmt.Errorf("nmod: %s (HTTP %d)", ae.Error, resp.StatusCode)
+// authorize stamps the bearer credential when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
-	return fmt.Errorf("nmod: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// decodeErr turns a non-2xx response into a typed *APIError: the
+// envelope decoded when the body carries one, a synthesized upstream
+// error otherwise (non-nmo intermediaries, truncated bodies). Either
+// way the HTTP status and request ID ride along, so CLIs print the
+// stable code plus the ID to grep the fleet's audit logs with, and
+// callers branch with errors.Is(err, &service.APIError{Code: ...}).
+func decodeErr(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env struct {
+		Error *APIError `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && env.Error != nil &&
+		(env.Error.Code != "" || env.Error.Message != "") {
+		ae := env.Error
+		ae.Status = resp.StatusCode
+		if ae.RequestID == "" {
+			ae.RequestID = resp.Header.Get(obs.RequestIDHeader)
+		}
+		return ae
+	}
+	return &APIError{
+		Code:      obs.CodeUpstream,
+		Message:   strings.TrimSpace(string(data)),
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get(obs.RequestIDHeader),
+	}
 }
 
 // Submit posts a job spec and returns its admission status (terminal
@@ -143,6 +174,12 @@ func (c *Client) Stats(ctx context.Context) (SchedStats, error) {
 	return st, err
 }
 
+// Healthz probes the daemon's liveness route — the cheap check the
+// gateway's health prober rides (no stats snapshot, no auth).
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
 // TraceOptions select and filter a job's trace stream.
 type TraceOptions struct {
 	// Scenario selects the blob by name or index ("" = scenario 0).
@@ -186,6 +223,7 @@ func (c *Client) Trace(ctx context.Context, id string, opt TraceOptions) (body i
 	if err != nil {
 		return nil, "", err
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, "", err

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"nmo/internal/obs"
@@ -34,6 +36,22 @@ type Metrics struct {
 	EngineRuns *obs.Counter
 
 	phases map[string]*obs.Histogram
+
+	// Per-tenant instruments, registered lazily the first time a
+	// tenant submits. Tenants are authenticated principals, so the
+	// label cardinality is bounded by the identity space. The global
+	// families above stay label-free — dashboards and CI greps keyed
+	// on them are untouched; the tenant dimension is new families.
+	tmu     sync.Mutex
+	tenants map[string]*TenantMetrics
+}
+
+// TenantMetrics is one tenant's instrument set.
+type TenantMetrics struct {
+	Submitted  *obs.Counter
+	Rejected   *obs.Counter
+	EngineRuns *obs.Counter
+	QueueWait  *obs.Histogram
 }
 
 // NewMetrics builds a registry pre-populated with the daemon's job
@@ -52,13 +70,50 @@ func NewMetrics(audit *obs.AuditLog) *Metrics {
 			"Job submissions rejected (bad spec, queue full, shutting down)."),
 		EngineRuns: reg.Counter("nmo_engine_runs_total",
 			"Engine batch executions — what the content-addressed cache deduplicates."),
-		phases: make(map[string]*obs.Histogram, len(JobPhaseNames)),
+		phases:  make(map[string]*obs.Histogram, len(JobPhaseNames)),
+		tenants: make(map[string]*TenantMetrics),
 	}
 	for _, p := range JobPhaseNames {
 		m.phases[p] = reg.Histogram("nmo_job_phase_seconds",
 			"Job lifecycle phase durations.", obs.PhaseBuckets, obs.L("phase", p))
 	}
 	return m
+}
+
+// Tenant returns (registering on first use) the tenant's instrument
+// set. The hot path after the first submission is one map lookup
+// under a short mutex.
+func (m *Metrics) Tenant(tenant string) *TenantMetrics {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tm := m.tenants[tenant]
+	if tm == nil {
+		l := obs.L("tenant", tenant)
+		tm = &TenantMetrics{
+			Submitted: m.Reg.Counter("nmo_tenant_jobs_submitted_total",
+				"Job submissions admitted, by tenant.", l),
+			Rejected: m.Reg.Counter("nmo_tenant_jobs_rejected_total",
+				"Job submissions rejected, by tenant.", l),
+			EngineRuns: m.Reg.Counter("nmo_tenant_engine_runs_total",
+				"Engine batch executions, by tenant.", l),
+			QueueWait: m.Reg.Histogram("nmo_tenant_queue_wait_seconds",
+				"Queue wait by tenant — the fairness signal.", obs.PhaseBuckets, l),
+		}
+		m.tenants[tenant] = tm
+	}
+	return tm
+}
+
+// TenantNames lists tenants that have instruments, sorted.
+func (m *Metrics) TenantNames() []string {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	names := make([]string, 0, len(m.tenants))
+	for t := range m.tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ObservePhase records one completed job phase into its histogram.

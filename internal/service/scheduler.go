@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nmo/internal/analysis"
+	"nmo/internal/auth"
 	"nmo/internal/core"
 	"nmo/internal/engine"
 	"nmo/internal/obs"
@@ -49,10 +50,18 @@ type SchedConfig struct {
 	// (nil: a fresh private one, so embedded/test schedulers are fully
 	// instrumented without wiring).
 	Metrics *Metrics
+	// Quotas supplies per-tenant fair-share weights and max-in-flight
+	// caps (nil: every tenant weight 1, unlimited). The weight is read
+	// once, when the tenant's queue is created.
+	Quotas *auth.Quotas
 }
 
 // ErrQueueFull rejects submissions when the queue is at capacity.
 var ErrQueueFull = errInvalid("service: job queue is full")
+
+// ErrQuotaExceeded rejects submissions past the tenant's max-in-flight
+// quota (-> HTTP 429, code quota_exceeded).
+var ErrQuotaExceeded = errInvalid("service: tenant in-flight quota exceeded")
 
 // ErrCanceled is the terminal error of canceled jobs.
 var ErrCanceled = errInvalid("service: job canceled")
@@ -65,10 +74,15 @@ var errShutdown = errInvalid("service: scheduler shut down")
 type Job struct {
 	ID       string
 	Key      string
+	Tenant   string // principal the job was submitted as
 	Priority int
 	seq      uint64
 	reqID    string        // request ID of the admitting submission
 	audit    *obs.AuditLog // transition sink (nil-safe)
+
+	// quotaReleased guards the tenant in-flight decrement (leaders
+	// only; guarded by the scheduler's mu, not j.mu).
+	quotaReleased bool
 
 	rs    []resolved
 	kinds []sampler.Kind // distinct backends (admission resources)
@@ -92,7 +106,7 @@ func (j *Job) Info() JobInfo {
 	info := JobInfo{
 		ID: j.ID, State: j.state, Key: j.Key, Priority: j.Priority,
 		Cached: j.cached, Scenarios: len(j.rs), Error: j.errMsg,
-		RequestID: j.reqID,
+		RequestID: j.reqID, Tenant: j.Tenant,
 	}
 	if j.phases != (JobPhases{}) {
 		p := j.phases
@@ -112,7 +126,7 @@ func (j *Job) setPhase(fn func(*JobPhases)) {
 func (j *Job) auditState(state, errMsg string) {
 	j.audit.Log(obs.Event{
 		Kind: "job", Job: j.ID, Key: j.Key, ReqID: j.reqID,
-		State: state, Error: errMsg,
+		Tenant: j.Tenant, State: state, Error: errMsg,
 	})
 }
 
@@ -162,23 +176,32 @@ func (j *Job) finish(art *JobArtifacts, err error) {
 
 // Scheduler admits, queues, and executes jobs on a bounded worker
 // pool. Submission performs cache admission (hit, coalesce, or
-// enqueue-as-leader); workers pick the highest-priority *admissible*
-// job — one whose backends all have a free slot — so a saturated
-// backend never blocks jobs that only need the other one.
+// enqueue-as-leader) plus tenant quota admission; workers drain
+// per-tenant queues by weighted deficit round robin, and within the
+// chosen tenant pick the highest-priority *admissible* job — one whose
+// backends all have a free slot — so a saturated backend never blocks
+// jobs that only need the other one.
 type Scheduler struct {
 	cfg   SchedConfig
 	cache *Cache
 	m     *Metrics
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*Job // sorted: priority desc, seq asc
-	jobs    map[string]*Job
-	order   []*Job // submission order (job-record pruning)
-	running map[sampler.Kind]int
-	nRun    int
-	closed  bool
-	seq     uint64
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Per-tenant queues (each sorted priority desc, seq asc), drained
+	// by DRR over the active rotation. Invariant: a tenantQueue is in
+	// active iff it has queued jobs.
+	tqs      map[string]*tenantQueue
+	active   []*tenantQueue
+	nQueued  int            // total queued leaders (QueueCap applies globally)
+	inflight map[string]int // live leader jobs per tenant (max_in_flight)
+	runningT map[string]int // running leader jobs per tenant (stats)
+	jobs     map[string]*Job
+	order    []*Job // submission order (job-record pruning)
+	running  map[sampler.Kind]int
+	nRun     int
+	closed   bool
+	seq      uint64
 
 	// baseCtx parents every job context, so Close cancels whatever is
 	// running — including jobs in the pop-to-run window whose cancel
@@ -210,7 +233,10 @@ func NewScheduler(cfg SchedConfig, cache *Cache) *Scheduler {
 		cache, _ = NewCache(CacheConfig{}) // memory-only: never errors
 	}
 	s := &Scheduler{cfg: cfg, cache: cache, m: cfg.Metrics,
-		jobs: make(map[string]*Job), running: make(map[sampler.Kind]int)}
+		tqs:      make(map[string]*tenantQueue),
+		inflight: make(map[string]int),
+		runningT: make(map[string]int),
+		jobs:     make(map[string]*Job), running: make(map[sampler.Kind]int)}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.cond = sync.NewCond(&s.mu)
 	s.registerGauges()
@@ -255,7 +281,7 @@ func (s *Scheduler) registerGauges() {
 func (s *Scheduler) occupancy() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue), s.nRun
+	return s.nQueued, s.nRun
 }
 
 // Metrics returns the scheduler's observability bundle — the server
@@ -290,7 +316,38 @@ func (s *Scheduler) Stats() SchedStats {
 		Running:         running,
 		UptimeSec:       obs.Uptime(),
 		JobPhases:       s.m.PhaseStats(),
+		Tenants:         s.tenantStats(),
 	}
+}
+
+// tenantStats snapshots the per-tenant fair-share view: every tenant
+// that has submitted since boot, with its weight, occupancy, and
+// lifetime counters.
+func (s *Scheduler) tenantStats() []TenantStat {
+	names := s.m.TenantNames()
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]TenantStat, 0, len(names))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range names {
+		tm := s.m.Tenant(t)
+		st := TenantStat{
+			Tenant:     t,
+			Weight:     s.cfg.Quotas.For(t).NormWeight(),
+			Running:    s.runningT[t],
+			InFlight:   s.inflight[t],
+			Submitted:  tm.Submitted.Value(),
+			EngineRuns: tm.EngineRuns.Value(),
+			Rejected:   tm.Rejected.Value(),
+		}
+		if tq := s.tqs[t]; tq != nil {
+			st.Queued = len(tq.jobs)
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // Submit validates, resolves, and admits a job. The returned Job is
@@ -301,18 +358,28 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 }
 
 // SubmitReq is Submit carrying the request ID of the admitting HTTP
-// request, which is stamped on the job record and every audit line it
-// emits. The resolve+admission span is recorded as the job's
-// cache_lookup phase.
+// request, running as the default tenant.
 func (s *Scheduler) SubmitReq(spec JobSpec, reqID string) (*Job, error) {
+	return s.SubmitTenant(spec, reqID, auth.DefaultTenant)
+}
+
+// SubmitTenant is the full submission path: request ID stamped on the
+// job record and every audit line it emits, tenant charged against its
+// max-in-flight quota and queued under its fair-share queue. The
+// resolve+admission span is recorded as the job's cache_lookup phase.
+func (s *Scheduler) SubmitTenant(spec JobSpec, reqID, tenant string) (*Job, error) {
+	if tenant == "" {
+		tenant = auth.DefaultTenant
+	}
 	admitStart := time.Now()
 	rs, key, err := resolveJob(spec)
 	if err != nil {
 		s.m.Rejected.Inc()
+		s.m.Tenant(tenant).Rejected.Inc()
 		return nil, err
 	}
 	job := &Job{
-		ID: newID(), Key: key, Priority: spec.Priority,
+		ID: newID(), Key: key, Tenant: tenant, Priority: spec.Priority,
 		reqID: reqID, audit: s.m.Audit,
 		rs: rs, kinds: backends(rs), state: StateQueued,
 	}
@@ -321,20 +388,36 @@ func (s *Scheduler) SubmitReq(spec JobSpec, reqID string) (*Job, error) {
 	if s.closed {
 		s.mu.Unlock()
 		s.m.Rejected.Inc()
+		s.m.Tenant(tenant).Rejected.Inc()
 		return nil, errShutdown
 	}
 	e, leader := s.cache.Acquire(key)
 	job.entry = e
-	if leader && len(s.queue) >= s.cfg.QueueCap {
-		// Undo the reservation before releasing the scheduler lock:
-		// every Submit acquires under it, so no follower can attach
-		// to the entry before the abort lands.
-		s.cache.Abort(e, ErrQueueFull)
-		s.mu.Unlock()
-		s.m.Rejected.Inc()
-		return nil, ErrQueueFull
+	if leader {
+		// Leader admission charges real capacity: the global queue cap
+		// first, then the tenant's in-flight quota. Cache hits and
+		// coalesced followers are free — they cost no engine time.
+		// Either rejection undoes the reservation before releasing the
+		// scheduler lock: every Submit acquires under it, so no
+		// follower can attach to the entry before the abort lands.
+		if s.nQueued >= s.cfg.QueueCap {
+			s.cache.Abort(e, ErrQueueFull)
+			s.mu.Unlock()
+			s.m.Rejected.Inc()
+			s.m.Tenant(tenant).Rejected.Inc()
+			return nil, ErrQueueFull
+		}
+		if max := s.cfg.Quotas.For(tenant).MaxInFlight; max > 0 && s.inflight[tenant] >= max {
+			s.cache.Abort(e, ErrQuotaExceeded)
+			s.mu.Unlock()
+			s.m.Rejected.Inc()
+			s.m.Tenant(tenant).Rejected.Inc()
+			return nil, ErrQuotaExceeded
+		}
+		s.inflight[tenant]++
 	}
 	s.m.Submitted.Inc()
+	s.m.Tenant(tenant).Submitted.Inc()
 	s.seq++
 	job.seq = s.seq
 	job.cached = !leader // job not yet published; no lock needed
@@ -356,16 +439,20 @@ func (s *Scheduler) SubmitReq(spec JobSpec, reqID string) (*Job, error) {
 	}
 	// Coalescing onto a *queued* leader: the attached submission's
 	// priority must still count, or a high-priority request would
-	// silently wait at its leader's lower position. Bump the leader
-	// and re-place it.
-	for i, q := range s.queue {
-		if q.Key == key && q.Priority < spec.Priority {
-			q.mu.Lock()
-			q.Priority = spec.Priority
-			q.mu.Unlock()
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			s.enqueueLocked(q)
-			break
+	// silently wait at its leader's lower position. The leader may sit
+	// in any tenant's queue (coalescing crosses tenants — same key,
+	// same bytes); bump it and re-place it within its own queue.
+bump:
+	for _, tq := range s.tqs {
+		for i, q := range tq.jobs {
+			if q.Key == key && q.Priority < spec.Priority {
+				q.mu.Lock()
+				q.Priority = spec.Priority
+				q.mu.Unlock()
+				tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+				tq.insert(q)
+				break bump
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -389,18 +476,56 @@ func (s *Scheduler) SubmitReq(spec JobSpec, reqID string) (*Job, error) {
 	return job, nil
 }
 
-// enqueueLocked inserts by (priority desc, seq asc); callers hold mu.
-func (s *Scheduler) enqueueLocked(j *Job) {
-	i := sort.Search(len(s.queue), func(i int) bool {
-		q := s.queue[i]
+// tenantQueue is one tenant's slice of the scheduler: its queued
+// leader jobs (sorted priority desc, seq asc — the pre-multi-tenant
+// global order) plus its deficit-round-robin service state.
+type tenantQueue struct {
+	tenant string
+	weight int // DRR quantum, from the quota file (>= 1)
+	credit int // jobs this tenant may still pop this round
+	jobs   []*Job
+}
+
+// insert places j by (priority desc, seq asc).
+func (tq *tenantQueue) insert(j *Job) {
+	i := sort.Search(len(tq.jobs), func(i int) bool {
+		q := tq.jobs[i]
 		if q.Priority != j.Priority {
 			return q.Priority < j.Priority
 		}
 		return q.seq > j.seq
 	})
-	s.queue = append(s.queue, nil)
-	copy(s.queue[i+1:], s.queue[i:])
-	s.queue[i] = j
+	tq.jobs = append(tq.jobs, nil)
+	copy(tq.jobs[i+1:], tq.jobs[i:])
+	tq.jobs[i] = j
+}
+
+// enqueueLocked queues a leader under its tenant, activating the
+// tenant's queue when it goes non-empty; callers hold mu.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	tq := s.tqs[j.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{tenant: j.Tenant, weight: s.cfg.Quotas.For(j.Tenant).NormWeight()}
+		s.tqs[j.Tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		s.active = append(s.active, tq)
+	}
+	tq.insert(j)
+	s.nQueued++
+}
+
+// deactivateLocked drops an emptied tenant queue from the rotation.
+// Credit does not bank across idle periods — an absent tenant restarts
+// at zero, so fairness is over backlogged tenants only (standard DRR).
+func (s *Scheduler) deactivateLocked(tq *tenantQueue) {
+	tq.credit = 0
+	for i, q := range s.active {
+		if q == tq {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
 }
 
 // pruneLocked forgets the oldest terminal job records beyond MaxJobs,
@@ -444,18 +569,25 @@ func (s *Scheduler) Cancel(id string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("service: unknown job %q", id)
 	}
-	for i, q := range s.queue {
-		if q == j {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			// Abort before releasing the scheduler lock (like the
-			// queue-full path in Submit): a concurrent identical
-			// Submit acquires under s.mu, so it must find either the
-			// queued entry or no entry — never a doomed one to
-			// coalesce onto.
-			s.cache.Abort(j.entry, ErrCanceled)
-			s.mu.Unlock()
-			j.finish(nil, ErrCanceled)
-			return nil
+	if tq := s.tqs[j.Tenant]; tq != nil {
+		for i, q := range tq.jobs {
+			if q == j {
+				tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+				s.nQueued--
+				if len(tq.jobs) == 0 {
+					s.deactivateLocked(tq)
+				}
+				s.releaseQuotaLocked(j)
+				// Abort before releasing the scheduler lock (like the
+				// queue-full path in Submit): a concurrent identical
+				// Submit acquires under s.mu, so it must find either the
+				// queued entry or no entry — never a doomed one to
+				// coalesce onto.
+				s.cache.Abort(j.entry, ErrCanceled)
+				s.mu.Unlock()
+				j.finish(nil, ErrCanceled)
+				return nil
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -498,8 +630,17 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	pending := s.queue
-	s.queue = nil
+	var pending []*Job
+	for _, tq := range s.active {
+		pending = append(pending, tq.jobs...)
+		tq.jobs = nil
+		tq.credit = 0
+	}
+	s.active = nil
+	s.nQueued = 0
+	for _, j := range pending {
+		s.releaseQuotaLocked(j)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -514,16 +655,54 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-// popLocked removes and returns the best admissible job, or nil.
-// Admissible: every backend the job occupies has a free slot. The
-// queue is priority-ordered, so the scan returns the first fit — a
-// job blocked on a saturated backend is jumped by lower-priority jobs
-// that need only free backends (no head-of-line blocking across
-// backends; FIFO order within one backend's contenders is preserved).
+// popLocked removes and returns the next job under weighted deficit
+// round robin across tenants, or nil when nothing is admissible.
+//
+// The front of the active rotation owns the turn. Entering a turn with
+// no credit replenishes it to the tenant's weight; each popped job
+// costs one credit (unit job cost — jobs are comparable engine
+// batches), and the tenant keeps the front until its credit or its
+// queue runs out, then rotates to the back. Under saturation that
+// yields exact weight ratios (3:1 → A,A,A,B repeating). A tenant whose
+// queued jobs are all inadmissible (saturated backends) passes its
+// turn without burning credit, so backend conflicts never tax a
+// tenant's share. With a single tenant the whole mechanism reduces to
+// the pre-multi-tenant scan: first admissible job in (priority desc,
+// seq asc) order — bit-identical scheduling.
+//
+// Within the chosen tenant, admissibility and ordering are unchanged:
+// every backend the job occupies must have a free slot, and the
+// priority-ordered scan returns the first fit (no head-of-line
+// blocking across backends; FIFO within one backend's contenders).
 func (s *Scheduler) popLocked() *Job {
-	for i, j := range s.queue {
+	for visited := 0; visited < len(s.active); {
+		tq := s.active[0]
+		if tq.credit <= 0 {
+			tq.credit = tq.weight
+		}
+		if j := s.popTenantLocked(tq); j != nil {
+			tq.credit--
+			if len(tq.jobs) == 0 {
+				s.deactivateLocked(tq)
+			} else if tq.credit == 0 {
+				s.active = append(s.active[1:], tq)
+			}
+			return j
+		}
+		// Nothing admissible for this tenant right now: pass the turn,
+		// keep the credit for when its backends free up.
+		s.active = append(s.active[1:], tq)
+		visited++
+	}
+	return nil
+}
+
+// popTenantLocked removes the tenant's best admissible job, or nil.
+func (s *Scheduler) popTenantLocked(tq *tenantQueue) *Job {
+	for i, j := range tq.jobs {
 		if s.admissibleLocked(j) {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+			s.nQueued--
 			return j
 		}
 	}
@@ -540,6 +719,19 @@ func (s *Scheduler) admissibleLocked(j *Job) bool {
 		}
 	}
 	return true
+}
+
+// releaseQuotaLocked returns a leader job's in-flight quota unit.
+// Idempotent (the flag lives under s.mu): a job released at cancel
+// time is not released again at worker exit.
+func (s *Scheduler) releaseQuotaLocked(j *Job) {
+	if j.quotaReleased {
+		return
+	}
+	j.quotaReleased = true
+	if s.inflight[j.Tenant]--; s.inflight[j.Tenant] <= 0 {
+		delete(s.inflight, j.Tenant)
+	}
 }
 
 // worker is the scheduler loop: pick an admissible job, reserve its
@@ -563,6 +755,7 @@ func (s *Scheduler) worker() {
 			s.running[k]++
 		}
 		s.nRun++
+		s.runningT[job.Tenant]++
 		s.mu.Unlock()
 
 		s.runJob(job)
@@ -572,6 +765,10 @@ func (s *Scheduler) worker() {
 			s.running[k]--
 		}
 		s.nRun--
+		if s.runningT[job.Tenant]--; s.runningT[job.Tenant] <= 0 {
+			delete(s.runningT, job.Tenant)
+		}
+		s.releaseQuotaLocked(job)
 		// A slot freed: jobs previously inadmissible may fit now.
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -622,6 +819,7 @@ func (s *Scheduler) runJob(job *Job) {
 	job.mu.Unlock()
 	defer cancel()
 	s.m.ObservePhase("queue_wait", wait)
+	s.m.Tenant(job.Tenant).QueueWait.Observe(wait.Seconds())
 	job.auditState("running", "")
 
 	art, err := s.execute(ctx, job)
@@ -678,6 +876,7 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) (*JobArtifacts, error
 	}
 
 	s.m.EngineRuns.Inc()
+	s.m.Tenant(job.Tenant).EngineRuns.Inc()
 	runStart := time.Now()
 	results := engine.Runner{Jobs: s.cfg.EngineJobs}.RunAllContext(ctx, scs)
 	run := time.Since(runStart)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"nmo/internal/auth"
 	"nmo/internal/obs"
 	"nmo/internal/trace"
 	"nmo/internal/zerocopy"
@@ -31,11 +32,27 @@ import (
 // stream's rolling MD5 in X-Nmo-Trace-Md5. Filtered responses are a
 // fresh v2 stream (own index, own checksum) restreamed through the
 // block-skip push-down.
+//
+// Every non-2xx response is the standard JSON error envelope
+// ({"error": {"code", "message", "request_id"}}); /v1/healthz,
+// /v1/stats, and /metrics are never behind auth (they are the
+// read-only operational surface probes and dashboards live on), while
+// the job routes run behind the configured auth middleware.
 type Server struct {
-	sched *Scheduler
-	mux   *http.ServeMux
-	zc    *zerocopy.Counters
-	m     *Metrics
+	sched  *Scheduler
+	router *obs.Router
+	zc     *zerocopy.Counters
+	m      *Metrics
+	auth   *auth.Middleware
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithAuth mounts an auth middleware on the job routes (default: a
+// ModeNone middleware — dev-header tenancy, no credentials).
+func WithAuth(a *auth.Middleware) ServerOption {
+	return func(s *Server) { s.auth = a }
 }
 
 // NewServer wires a scheduler into an HTTP handler. Every route runs
@@ -43,32 +60,36 @@ type Server struct {
 // and size histograms, request-ID boundary, audit lines), and the
 // backing registry is exposed at GET /metrics — including this
 // server's zero-copy data-plane counters.
-func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux(),
-		zc: new(zerocopy.Counters), m: sched.Metrics()}
+func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
+	s := &Server{sched: sched, zc: new(zerocopy.Counters), m: sched.Metrics()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.auth == nil {
+		// ModeNone with the scheduler's quota table: tenancy via dev
+		// header, rate limits still enforced per claimed tenant.
+		s.auth, _ = auth.NewMiddleware(auth.Config{Mode: auth.ModeNone, Quotas: sched.cfg.Quotas})
+	}
 	RegisterDataPlane(s.m.Reg, s.zc)
-	s.route("POST /v1/jobs", s.handleSubmit)
-	s.route("GET /v1/jobs/{id}", s.handleStatus)
-	s.route("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.route("GET /v1/jobs/{id}/result", s.handleResult)
-	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
-	s.route("GET /v1/stats", s.handleStats)
-	s.route("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	rt := obs.NewRouter(s.m.HTTP)
+	protect, limit := s.auth.Protect, s.auth.LimitSubmit
+	rt.HandleFunc("POST", "/v1/jobs", s.handleSubmit, protect, limit)
+	rt.HandleFunc("GET", "/v1/jobs/{id}", s.handleStatus, protect)
+	rt.HandleFunc("DELETE", "/v1/jobs/{id}", s.handleCancel, protect)
+	rt.HandleFunc("GET", "/v1/jobs/{id}/result", s.handleResult, protect)
+	rt.HandleFunc("GET", "/v1/jobs/{id}/trace", s.handleTrace, protect)
+	rt.HandleFunc("GET", "/v1/stats", s.handleStats)
+	rt.HandleFunc("GET", "/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	s.route("GET /metrics", obs.Handler(s.m.Reg).ServeHTTP)
+	rt.Handle("GET", "/metrics", obs.Handler(s.m.Reg))
+	s.router = rt
 	return s
-}
-
-// route mounts a handler behind the metrics middleware, using the mux
-// pattern itself as the bounded-cardinality route label.
-func (s *Server) route(pattern string, fn http.HandlerFunc) {
-	s.mux.Handle(pattern, s.m.HTTP.Wrap(pattern, fn))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.router.ServeHTTP(w, r)
 }
 
 // ZeroCopy returns the server's data-plane counters. The daemon hands
@@ -82,23 +103,31 @@ func (s *Server) ZeroCopy() *zerocopy.Counters { return s.zc }
 // accepted by one tier and rejected by the next.
 const MaxSpecBytes = 1 << 20
 
+// submitErr maps a Submit failure onto its envelope status and code.
+func submitErr(err error) (int, string) {
+	switch err {
+	case ErrQueueFull:
+		return http.StatusTooManyRequests, obs.CodeQueueFull
+	case ErrQuotaExceeded:
+		return http.StatusTooManyRequests, obs.CodeQuotaExceeded
+	case errShutdown:
+		return http.StatusServiceUnavailable, obs.CodeShutdown
+	}
+	return http.StatusBadRequest, obs.CodeBadSpec
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		obs.WriteError(w, r, http.StatusBadRequest, obs.CodeBadSpec, "bad job spec: "+err.Error())
 		return
 	}
-	job, err := s.sched.SubmitReq(spec, obs.RequestID(r.Context()))
+	job, err := s.sched.SubmitTenant(spec, obs.RequestID(r.Context()), auth.TenantFrom(r.Context()))
 	if err != nil {
-		code := http.StatusBadRequest
-		if err == ErrQueueFull {
-			code = http.StatusTooManyRequests
-		} else if err == errShutdown {
-			code = http.StatusServiceUnavailable
-		}
-		WriteError(w, code, err)
+		status, code := submitErr(err)
+		obs.WriteError(w, r, status, code, err.Error())
 		return
 	}
 	WriteJSON(w, http.StatusOK, job.Info())
@@ -109,7 +138,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Get(id)
 	if !ok {
-		WriteError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		obs.WriteError(w, r, http.StatusNotFound, obs.CodeNotFound, fmt.Sprintf("unknown job %q", id))
 		return nil, false
 	}
 	return j, true
@@ -127,7 +156,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sched.Cancel(j.ID); err != nil {
-		WriteError(w, http.StatusInternalServerError, err)
+		obs.WriteError(w, r, http.StatusInternalServerError, obs.CodeInternal, err.Error())
 		return
 	}
 	WriteJSON(w, http.StatusOK, j.Info())
@@ -147,15 +176,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // jobs to 409/the failure. Results are served only for done jobs —
 // clients poll status first (or watch the submission response's state
 // for cache hits).
-func artifacts(w http.ResponseWriter, j *Job) (*JobArtifacts, bool) {
+func artifacts(w http.ResponseWriter, r *http.Request, j *Job) (*JobArtifacts, bool) {
 	info := j.Info()
 	switch info.State {
 	case StateDone:
 		return j.Artifacts(), true
 	case StateFailed, StateCanceled:
-		WriteError(w, http.StatusConflict, fmt.Errorf("job %s is %s: %s", j.ID, info.State, info.Error))
+		obs.WriteError(w, r, http.StatusConflict, obs.CodeConflict,
+			fmt.Sprintf("job %s is %s: %s", j.ID, info.State, info.Error))
 	default:
-		WriteError(w, http.StatusConflict, fmt.Errorf("job %s is %s; poll until done", j.ID, info.State))
+		obs.WriteError(w, r, http.StatusConflict, obs.CodeConflict,
+			fmt.Sprintf("job %s is %s; poll until done", j.ID, info.State))
 	}
 	return nil, false
 }
@@ -165,7 +196,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	art, ok := artifacts(w, j)
+	art, ok := artifacts(w, r, j)
 	if !ok {
 		return
 	}
@@ -179,20 +210,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	art, ok := artifacts(w, j)
+	art, ok := artifacts(w, r, j)
 	if !ok {
 		return
 	}
 	blob, ok := art.Trace(r.URL.Query().Get("scenario"))
 	if !ok || blob.Size() == 0 {
-		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
-			j.ID, r.URL.Query().Get("scenario")))
+		obs.WriteError(w, r, http.StatusNotFound, obs.CodeNotFound,
+			fmt.Sprintf("job %s has no trace for scenario %q (sampling disabled, or unknown name)",
+				j.ID, r.URL.Query().Get("scenario")))
 		return
 	}
 
 	lo, hi, core, filtered, err := traceFilter(r)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		obs.WriteError(w, r, http.StatusBadRequest, obs.CodeBadRequest, err.Error())
 		return
 	}
 
@@ -201,7 +233,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	// the cache deletes the file mid-response).
 	_, h, bk, err := blob.open()
 	if err != nil || bk == nil {
-		WriteError(w, http.StatusNotFound, fmt.Errorf("job %s: trace evicted from cache: %v", j.ID, err))
+		obs.WriteError(w, r, http.StatusNotFound, obs.CodeNotFound,
+			fmt.Sprintf("job %s: trace evicted from cache: %v", j.ID, err))
 		return
 	}
 	if h != nil {
@@ -271,12 +304,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if h != nil && core < 0 {
 		rd, err := trace.OpenV2(io.NewSectionReader(h.f, 0, blob.Size()))
 		if err != nil {
-			WriteError(w, http.StatusInternalServerError, err)
+			obs.WriteError(w, r, http.StatusInternalServerError, obs.CodeInternal, err.Error())
 			return
 		}
 		plan, err := trace.RestreamPlanExact(rd, lo, hi, core)
 		if err != nil {
-			WriteError(w, http.StatusInternalServerError, err)
+			obs.WriteError(w, r, http.StatusInternalServerError, obs.CodeInternal, err.Error())
 			return
 		}
 		w.Header().Set("X-Nmo-Trace-Md5", hex.EncodeToString(plan.MD5[:]))
@@ -303,7 +336,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	rd, err := trace.OpenV2(src)
 	if err != nil {
-		WriteError(w, http.StatusInternalServerError, err)
+		obs.WriteError(w, r, http.StatusInternalServerError, obs.CodeInternal, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -392,16 +425,11 @@ func traceFilter(r *http.Request) (lo, hi uint64, core int, filtered bool, err e
 	return lo, hi, core, lo != 0 || hi != 0 || core >= 0, nil
 }
 
-// WriteJSON and WriteError are the wire encoding helpers, shared with
-// the gateway so every tier answers with the same JSON shapes (errors
-// always as the apiError body).
+// WriteJSON is the success-body encoding helper, shared with the
+// gateway so every tier answers with the same JSON shapes. Errors go
+// through obs.WriteError — the one envelope every tier speaks.
 func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
-}
-
-// WriteError writes the standard error body.
-func WriteError(w http.ResponseWriter, code int, err error) {
-	WriteJSON(w, code, apiError{Error: err.Error()})
 }

@@ -311,7 +311,7 @@ func TestPriorityOrdersQueue(t *testing.T) {
 
 	s.mu.Lock()
 	var order []string
-	for _, j := range s.queue {
+	for _, j := range defaultQueue(s) {
 		if j == low || j == high || j == mid {
 			order = append(order, j.ID)
 		}
@@ -648,7 +648,7 @@ func TestCoalescePriorityInheritance(t *testing.T) {
 	}
 	s.mu.Lock()
 	var order []string
-	for _, q := range s.queue {
+	for _, q := range defaultQueue(s) {
 		if q == leader || q == other {
 			order = append(order, q.ID)
 		}

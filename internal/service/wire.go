@@ -28,9 +28,18 @@
 package service
 
 import (
+	"nmo/internal/obs"
 	"nmo/internal/report"
 	"nmo/internal/trace"
 )
+
+// APIError is the typed error every non-2xx daemon response decodes
+// into: the stable machine-readable code, the human message, and the
+// request ID to grep the fleet's audit logs with. It is the obs-layer
+// envelope type verbatim (one wire shape across tiers); the alias
+// keeps service-level callers writing service.APIError and
+// errors.Is(err, &service.APIError{Code: ...}).
+type APIError = obs.APIError
 
 // The CLI/wire defaults, shared with cmd/nmoprof's flag defaults so a
 // defaulted remote submission and a defaulted local invocation are the
@@ -162,6 +171,9 @@ type JobInfo struct {
 	// submissions) and stamped on every audit line the job emits, so
 	// one grep follows a request across tiers.
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant is the principal the job was submitted as. Quotas,
+	// fair-share weight, and per-tenant metrics all key off it.
+	Tenant string `json:"tenant,omitempty"`
 	// Phases is the job's lifecycle timing breakdown; fields fill in as
 	// the job progresses and are all set once it is done.
 	Phases *JobPhases `json:"phases,omitempty"`
@@ -283,6 +295,23 @@ type SchedStats struct {
 	// JobPhases summarizes the job lifecycle phase histograms — the
 	// JSON twin of nmo_job_phase_seconds.
 	JobPhases []PhaseStat `json:"job_phases,omitempty"`
+	// Tenants is the per-tenant fair-share view: one row per tenant
+	// that has submitted since boot, sorted by name.
+	Tenants []TenantStat `json:"tenants,omitempty"`
+}
+
+// TenantStat is one tenant's row in the stats view: its DRR weight,
+// current occupancy, and lifetime counters. InFlight counts live
+// leader jobs (queued + running) — the quantity max_in_flight caps.
+type TenantStat struct {
+	Tenant     string `json:"tenant"`
+	Weight     int    `json:"weight"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	InFlight   int    `json:"in_flight"`
+	Submitted  uint64 `json:"submitted"`
+	EngineRuns uint64 `json:"engine_runs"`
+	Rejected   uint64 `json:"rejected"`
 }
 
 // MemberStats is one shard's row in a gateway's fleet stats view.
@@ -310,9 +339,4 @@ type MemberStats struct {
 type FleetStats struct {
 	SchedStats
 	Members []MemberStats `json:"members"`
-}
-
-// apiError is the JSON error body every non-2xx response carries.
-type apiError struct {
-	Error string `json:"error"`
 }
